@@ -1,0 +1,72 @@
+// Reproduces Figure 4: how vertex values change across iterations for Label
+// Propagation (the observation motivating pruning). The paper's plot shows
+// high change density in the first ~5 iterations that then drops sharply;
+// we print the fraction of vertices whose value changed at each iteration,
+// read straight from the dependency store's changed-bit vectors.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/algorithms/belief_propagation.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/core/graphbolt_engine.h"
+
+namespace graphbolt {
+namespace {
+
+template <typename Algo>
+void PrintStability(const char* label, MutableGraph* graph, Algo algo, uint32_t iterations) {
+  GraphBoltEngine<Algo> engine(graph, algo, {.max_iterations = iterations});
+  engine.InitialCompute();
+  std::printf("\n%s (fraction of vertices changing per iteration):\n", label);
+  std::printf("%-5s %10s %9s  %s\n", "iter", "changed", "fraction", "bar");
+  const double n = static_cast<double>(graph->num_vertices());
+  for (uint32_t level = 1; level <= engine.store().total_levels(); ++level) {
+    const size_t changed = engine.store().ChangedAt(level).Count();
+    const double fraction = static_cast<double>(changed) / n;
+    std::printf("%-5u %10zu %8.1f%%  ", level, changed, fraction * 100.0);
+    const int bar = static_cast<int>(fraction * 50.0 + 0.5);
+    for (int i = 0; i < bar; ++i) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 4: change in vertex values across iterations (Label\n"
+      "Propagation over the Wiki surrogate). Motivates horizontal/vertical\n"
+      "pruning: density is high early and collapses as values stabilize.");
+
+  const Surrogate surrogate{"WK*", 40000, 500000, 121};
+  StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
+
+  // The deployment knob is the change tolerance (§4.2 selective
+  // scheduling): the looser it is, the earlier values count as stable and
+  // the earlier the horizontal red-line cutoff of Figure 4 becomes safe.
+  MutableGraph g_lp(split.initial);
+  PrintStability("Label Propagation, tolerance 1e-3, 20-iteration window", &g_lp,
+                 LabelPropagation<2>(surrogate.vertices, 0.1, 122, /*tolerance=*/1e-3), 20);
+
+  MutableGraph g_bp(split.initial);
+  PrintStability("Belief Propagation, tolerance 1e-4 (fast collapse)", &g_bp,
+                 BeliefPropagation<3>(13, 1e-4), 10);
+
+  MutableGraph g_pr(split.initial);
+  PrintStability("PageRank, tolerance 1e-4 (slower to stabilize)", &g_pr, PageRank(0.85, 1e-4),
+                 15);
+
+  std::printf(
+      "\nExpected shape (Figure 4): change density is high in the early\n"
+      "iterations and collapses as values stabilize; MLDM aggregations (BP)\n"
+      "collapse fastest, sum-style ones (PR) slowest.\n");
+}
+
+}  // namespace
+}  // namespace graphbolt
+
+int main() {
+  graphbolt::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces Figure 7: execution time as the mutation batch size sweeps
+// from a single edge up to 1M edges per batch, GB-Reset vs GraphBolt, for
+// every algorithm. (The sweep's top end is scaled with the graphs: 100K on
+// a 600K-edge surrogate corresponds to the paper's 1M on billion-edge
+// graphs; both are a comparable fraction of the graph.)
+//
+// Paper shape: GraphBolt's time grows with batch size but stays below
+// GB-Reset even at the largest batches; TC grows the least (local impact).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/algorithms/belief_propagation.h"
+#include "src/algorithms/coem.h"
+#include "src/algorithms/collaborative_filtering.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/triangle_counting.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/reset_engine.h"
+
+namespace graphbolt {
+namespace {
+
+constexpr size_t kSweep[] = {1, 10, 100, 1000, 10000, 100000};
+constexpr const char* kSweepLabels[] = {"1", "10", "100", "1K", "10K", "100K(~1M)"};
+
+template <typename Algo>
+void Sweep(const char* name, const StreamSplit& split, const Algo& algo,
+           const std::vector<std::vector<MutationBatch>>& batches_per_size) {
+  std::printf("\n%s on %s:\n%-12s %12s %12s %12s %9s\n", name, "TT*", "batch", "GB-Reset(ms)",
+              "GraphBolt(ms)", "GB+fb(ms)", "speedup");
+  for (size_t s = 0; s < batches_per_size.size(); ++s) {
+    double reset_time = 0.0;
+    double bolt_time = 0.0;
+    double fallback_time = 0.0;
+    {
+      MutableGraph graph(split.initial);
+      ResetEngine<Algo> engine(&graph, algo);
+      reset_time = RunStreaming(engine, batches_per_size[s]).avg_batch_seconds;
+    }
+    {
+      MutableGraph graph(split.initial);
+      GraphBoltEngine<Algo> engine(&graph, algo);
+      bolt_time = RunStreaming(engine, batches_per_size[s]).avg_batch_seconds;
+    }
+    {
+      // Computation-aware fallback (extension): batches mutating > 1% of
+      // edges are recomputed with tracking instead of refined.
+      MutableGraph graph(split.initial);
+      GraphBoltEngine<Algo> engine(&graph, algo, {.reset_fallback_fraction = 0.01});
+      fallback_time = RunStreaming(engine, batches_per_size[s]).avg_batch_seconds;
+    }
+    std::printf("%-12s %12.2f %12.2f %12.2f %8.2fx\n", kSweepLabels[s], reset_time * 1e3,
+                bolt_time * 1e3, fallback_time * 1e3, reset_time / bolt_time);
+  }
+}
+
+void TriangleSweep(const StreamSplit& split,
+                   const std::vector<std::vector<MutationBatch>>& batches_per_size) {
+  std::printf("\nTC on TT*:\n%-12s %12s %12s %9s\n", "batch", "GB-Reset(ms)", "GraphBolt(ms)",
+              "speedup");
+  for (size_t s = 0; s < batches_per_size.size(); ++s) {
+    double reset_time = 0.0;
+    double bolt_time = 0.0;
+    {
+      MutableGraph graph(split.initial);
+      TriangleCountingResetEngine engine(&graph);
+      reset_time = RunStreaming(engine, batches_per_size[s]).avg_batch_seconds;
+    }
+    {
+      MutableGraph graph(split.initial);
+      TriangleCountingEngine engine(&graph);
+      bolt_time = RunStreaming(engine, batches_per_size[s]).avg_batch_seconds;
+    }
+    std::printf("%-12s %12.2f %12.2f %8.2fx\n", kSweepLabels[s], reset_time * 1e3, bolt_time * 1e3,
+                reset_time / bolt_time);
+  }
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 7: per-batch time vs mutation batch size (1 edge .. ~1M\n"
+      "scaled), GB-Reset vs GraphBolt, TwitterMPI surrogate.");
+
+  const Surrogate surrogate{"TT*", 40000, 600000, 151};
+  StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
+  std::vector<std::vector<MutationBatch>> batches;
+  for (const size_t size : kSweep) {
+    batches.push_back(MakeBatches(split, 1, {.size = size, .add_fraction = 0.6}, 152));
+  }
+
+  Sweep("PR", split, PageRank(0.85, kBenchTolerance), batches);
+  Sweep("BP", split, BeliefPropagation<3>(13, kBenchTolerance), batches);
+  Sweep("CoEM", split, CoEM(surrogate.vertices, 0.08, 153, kBenchTolerance), batches);
+  Sweep("CF", split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), batches);
+  Sweep("LP", split, LabelPropagation<2>(surrogate.vertices, 0.1, 154, kBenchTolerance), batches);
+  TriangleSweep(split, batches);
+
+  std::printf(
+      "\nExpected shape (Figure 7): GraphBolt time rises with batch size and\n"
+      "stays below GB-Reset through the paper's density regime (up to a few\n"
+      "hundred mutations here; our surrogates are ~1000x smaller than the\n"
+      "paper's graphs, so its largest 1M batch corresponds to ~100-1K).\n"
+      "Beyond that density — which the paper never measures — refinement\n"
+      "exceeds restart cost; the GB+fb column shows the computation-aware\n"
+      "fallback (an extension) capping the loss near GB-Reset's cost.\n");
+}
+
+}  // namespace
+}  // namespace graphbolt
+
+int main() {
+  graphbolt::Run();
+  return 0;
+}

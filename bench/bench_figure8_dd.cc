@@ -1,0 +1,119 @@
+// Reproduces Figure 8: PageRank against the Differential Dataflow
+// comparator (src/minidd).
+//   8a: per-batch time vs batch size for DD, GraphBolt-RP (retract +
+//       propagate pairs) and GraphBolt (combined delta).
+//   8b: variance over 100 consecutive single-edge mutations (DD's time
+//       varies wildly with how much intermediate state a change touches;
+//       GraphBolt's iteration-structured refinement is far steadier).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/algorithms/pagerank.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/minidd/dataflow.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+namespace {
+
+constexpr size_t kSweep[] = {1, 10, 100, 1000, 10000};
+
+void Run() {
+  PrintHeader(
+      "Figure 8a: PageRank per-batch time (ms) vs batch size —\n"
+      "Differential Dataflow (minidd) vs GraphBolt-RP vs GraphBolt.");
+
+  const Surrogate surrogate{"TT*", 25000, 350000, 161};
+  StreamSplit split = MakeStream(surrogate);
+
+  std::printf("%-8s %14s %16s %14s\n", "batch", "DiffDataflow", "GraphBolt-RP", "GraphBolt");
+  for (const size_t size : kSweep) {
+    const auto batches = MakeBatches(split, 2, {.size = size, .add_fraction = 0.6}, 162);
+
+    double dd_time = 0.0;
+    {
+      DdPageRank dd(split.initial, 10, 0.85, kBenchTolerance);
+      dd.InitialCompute();
+      for (const auto& batch : batches) {
+        dd.ApplyUpdates(batch);
+        dd_time += dd.stats().seconds;
+      }
+      dd_time /= static_cast<double>(batches.size());
+    }
+    double rp_time = 0.0;
+    {
+      MutableGraph graph(split.initial);
+      GraphBoltEngine<PageRank> engine(&graph, PageRank(0.85, kBenchTolerance), {.use_retract_propagate = true});
+      rp_time = RunStreaming(engine, batches).avg_batch_seconds;
+    }
+    double bolt_time = 0.0;
+    {
+      MutableGraph graph(split.initial);
+      GraphBoltEngine<PageRank> engine(&graph, PageRank(0.85, kBenchTolerance));
+      bolt_time = RunStreaming(engine, batches).avg_batch_seconds;
+    }
+    std::printf("%-8zu %14.2f %16.2f %14.2f\n", size, dd_time * 1e3, rp_time * 1e3,
+                bolt_time * 1e3);
+  }
+
+  PrintHeader(
+      "Figure 8b: 100 consecutive single-edge mutations — per-mutation time\n"
+      "distribution (ms). DD shows high variance; GraphBolt stays steady.");
+
+  const auto singles = MakeBatches(split, 100, {.size = 1, .add_fraction = 0.6}, 163);
+
+  auto summarize = [](const char* name, std::vector<double> times_ms) {
+    double total = 0.0;
+    for (const double t : times_ms) {
+      total += t;
+    }
+    const double mean = total / static_cast<double>(times_ms.size());
+    double var = 0.0;
+    for (const double t : times_ms) {
+      var += (t - mean) * (t - mean);
+    }
+    var /= static_cast<double>(times_ms.size());
+    std::sort(times_ms.begin(), times_ms.end());
+    std::printf("%-14s mean=%8.3f  stddev=%8.3f  p50=%8.3f  p95=%8.3f  max=%8.3f  total=%8.1f\n",
+                name, mean, std::sqrt(var), times_ms[times_ms.size() / 2],
+                times_ms[times_ms.size() * 95 / 100], times_ms.back(), total);
+  };
+
+  {
+    std::vector<double> times;
+    DdPageRank dd(split.initial, 10, 0.85, kBenchTolerance);
+    dd.InitialCompute();
+    for (const auto& batch : singles) {
+      dd.ApplyUpdates(batch);
+      times.push_back(dd.stats().seconds * 1e3);
+    }
+    summarize("DiffDataflow", std::move(times));
+  }
+  {
+    std::vector<double> times;
+    MutableGraph graph(split.initial);
+    GraphBoltEngine<PageRank> engine(&graph, PageRank(0.85, kBenchTolerance));
+    engine.InitialCompute();
+    for (const auto& batch : singles) {
+      engine.ApplyMutations(batch);
+      times.push_back(engine.stats().seconds * 1e3);
+    }
+    summarize("GraphBolt", std::move(times));
+  }
+
+  std::printf(
+      "\nExpected shape (Figure 8): GraphBolt < GraphBolt-RP < DD at every\n"
+      "batch size (graph-aware dense arrays vs generic hashed arrangements);\n"
+      "DD's single-edge stddev/max far exceeds GraphBolt's.\n");
+}
+
+}  // namespace
+}  // namespace graphbolt
+
+int main() {
+  graphbolt::Run();
+  return 0;
+}

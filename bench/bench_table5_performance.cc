@@ -1,0 +1,177 @@
+// Reproduces Table 5: execution times for Ligra (restart), GB-Reset
+// (selective scheduling, restart on mutation) and GraphBolt (dependency-
+// driven refinement) across six algorithms, graph surrogates, and mutation
+// batch sizes. Batch sizes {10, 100, 1000} are scaled stand-ins for the
+// paper's {1K, 10K, 100K} (the graphs are ~1000x smaller).
+//
+// Paper shape to verify: GraphBolt <= GB-Reset <= Ligra everywhere; the
+// GraphBolt advantage shrinks as the batch grows; speedups are largest for
+// BP/CF/TC and smallest for PR.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/algorithms/belief_propagation.h"
+#include "src/algorithms/coem.h"
+#include "src/algorithms/collaborative_filtering.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/triangle_counting.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/engine/reset_engine.h"
+
+namespace graphbolt {
+namespace {
+
+constexpr size_t kBatchSizes[] = {1, 10, 100};
+constexpr const char* kBatchLabels[] = {"1K*", "10K*", "100K*"};
+constexpr size_t kBatchesPerSize = 2;
+
+struct Cell {
+  double ligra = 0.0;
+  double reset = 0.0;
+  double bolt = 0.0;
+};
+
+template <typename Algo>
+Cell RunCell(const StreamSplit& split, const Algo& algo, const std::vector<MutationBatch>& batches) {
+  Cell cell;
+  {
+    MutableGraph graph(split.initial);
+    LigraEngine<Algo> engine(&graph, algo);
+    cell.ligra = RunStreamingLigra(engine, batches).avg_batch_seconds;
+  }
+  {
+    MutableGraph graph(split.initial);
+    ResetEngine<Algo> engine(&graph, algo);
+    cell.reset = RunStreaming(engine, batches).avg_batch_seconds;
+  }
+  {
+    MutableGraph graph(split.initial);
+    GraphBoltEngine<Algo> engine(&graph, algo);
+    cell.bolt = RunStreaming(engine, batches).avg_batch_seconds;
+  }
+  return cell;
+}
+
+Cell RunTriangleCell(const StreamSplit& split, const std::vector<MutationBatch>& batches) {
+  Cell cell;
+  {
+    // Ligra == GB-Reset for TC (single-shot computation, §5.1).
+    MutableGraph graph(split.initial);
+    TriangleCountingResetEngine engine(&graph);
+    cell.ligra = RunStreaming(engine, batches).avg_batch_seconds;
+    cell.reset = cell.ligra;
+  }
+  {
+    MutableGraph graph(split.initial);
+    TriangleCountingEngine engine(&graph);
+    cell.bolt = RunStreaming(engine, batches).avg_batch_seconds;
+  }
+  return cell;
+}
+
+void PrintAlgoBlock(const char* algo_name, const std::vector<const char*>& graph_names,
+                    const std::vector<std::vector<Cell>>& cells) {
+  std::printf("\n--- %s ---\n", algo_name);
+  std::printf("%-10s", "");
+  for (const char* g : graph_names) {
+    std::printf(" | %-26s", g);
+  }
+  std::printf("\n%-10s", "engine");
+  for (size_t i = 0; i < graph_names.size(); ++i) {
+    std::printf(" | %8s %8s %8s", kBatchLabels[0], kBatchLabels[1], kBatchLabels[2]);
+  }
+  std::printf("\n");
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-10s", name);
+    for (const auto& per_graph : cells) {
+      std::printf(" |");
+      for (const Cell& cell : per_graph) {
+        std::printf(" %8.2f", getter(cell) * 1e3);
+      }
+    }
+    std::printf("\n");
+  };
+  row("Ligra", [](const Cell& c) { return c.ligra; });
+  row("GB-Reset", [](const Cell& c) { return c.reset; });
+  row("GraphBolt", [](const Cell& c) { return c.bolt; });
+  std::printf("%-10s", "xLigra");
+  for (const auto& per_graph : cells) {
+    std::printf(" |");
+    for (const Cell& cell : per_graph) {
+      std::printf(" %7.2fx", cell.ligra / cell.bolt);
+    }
+  }
+  std::printf("\n%-10s", "xGB-Reset");
+  for (const auto& per_graph : cells) {
+    std::printf(" |");
+    for (const Cell& cell : per_graph) {
+      std::printf(" %7.2fx", cell.reset / cell.bolt);
+    }
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  PrintHeader(
+      "Table 5: per-batch execution time (ms) for Ligra / GB-Reset /\n"
+      "GraphBolt across algorithms, graph surrogates and batch sizes.\n"
+      "Batch sizes are scaled to the smaller surrogate graphs: 1K* = 1,\n10K* = 10, 100K* = 100 edges. (Even one edge on a 100K-edge surrogate\nis denser than the paper's largest batch on its billion-edge graphs,\nso these are upper bounds on the mutation pressure per column.)");
+
+  const std::vector<Surrogate> graphs{kWiki, kTwitter, kFriendster};
+  std::vector<const char*> graph_names;
+  std::vector<StreamSplit> splits;
+  std::vector<std::vector<std::vector<MutationBatch>>> batches;  // [graph][size][batch]
+  for (const Surrogate& surrogate : graphs) {
+    graph_names.push_back(surrogate.name);
+    splits.push_back(MakeStream(surrogate, /*weighted=*/true));
+    std::vector<std::vector<MutationBatch>> per_size;
+    for (const size_t size : kBatchSizes) {
+      per_size.push_back(MakeBatches(splits.back(), kBatchesPerSize,
+                                     {.size = size, .add_fraction = 0.6}, surrogate.seed + 7));
+    }
+    batches.push_back(std::move(per_size));
+  }
+
+  auto run_algo = [&](const char* name, auto make_algo) {
+    std::vector<std::vector<Cell>> cells(graphs.size());
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      for (size_t s = 0; s < 3; ++s) {
+        cells[g].push_back(RunCell(splits[g], make_algo(graphs[g]), batches[g][s]));
+      }
+    }
+    PrintAlgoBlock(name, graph_names, cells);
+  };
+
+  run_algo("PR", [](const Surrogate&) { return PageRank(0.85, kBenchTolerance); });
+  run_algo("BP", [](const Surrogate&) { return BeliefPropagation<3>(13, kBenchTolerance); });
+  run_algo("CF", [](const Surrogate&) { return CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3); });
+  run_algo("CoEM", [](const Surrogate& s) { return CoEM(s.vertices, 0.08, s.seed + 9, kBenchTolerance); });
+  run_algo("LP",
+           [](const Surrogate& s) { return LabelPropagation<2>(s.vertices, 0.1, s.seed + 11, kBenchTolerance); });
+
+  {
+    std::vector<std::vector<Cell>> cells(graphs.size());
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      for (size_t s = 0; s < 3; ++s) {
+        cells[g].push_back(RunTriangleCell(splits[g], batches[g][s]));
+      }
+    }
+    PrintAlgoBlock("TC", graph_names, cells);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Table 5): GraphBolt < GB-Reset < Ligra in\n"
+      "every cell; speedups decay with batch size; BP/CF/TC show the\n"
+      "largest GraphBolt gains, PR the smallest.\n");
+}
+
+}  // namespace
+}  // namespace graphbolt
+
+int main() {
+  graphbolt::Run();
+  return 0;
+}

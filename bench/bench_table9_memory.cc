@@ -1,0 +1,93 @@
+// Reproduces Table 9: the memory overhead of GraphBolt's dependency
+// tracking relative to GB-Reset. GB-Reset's footprint is the graph plus one
+// value and one aggregation array; GraphBolt adds the dependency store
+// (per-iteration aggregations after vertical pruning, plus changed-bit
+// vectors). We report the store's logical footprint as a percentage of the
+// GB-Reset baseline, per algorithm and graph surrogate.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/algorithms/belief_propagation.h"
+#include "src/core/compact_dependency_store.h"
+#include "src/algorithms/coem.h"
+#include "src/algorithms/collaborative_filtering.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/core/graphbolt_engine.h"
+
+namespace graphbolt {
+namespace {
+
+// GB-Reset state: one Value array + one Aggregate array + the dual CSR/CSC.
+template <typename Algo>
+uint64_t ResetFootprintBytes(const MutableGraph& graph) {
+  const uint64_t n = graph.num_vertices();
+  const uint64_t m = graph.num_edges();
+  const uint64_t graph_bytes = 2 * (m * (sizeof(VertexId) + sizeof(Weight)) +
+                                    (n + 1) * sizeof(EdgeIndex));
+  return graph_bytes + n * sizeof(typename Algo::Value) + n * sizeof(typename Algo::Aggregate);
+}
+
+template <typename Algo>
+void Row(const char* name, const StreamSplit& split, const Algo& algo) {
+  std::printf("%-6s", name);
+  MutableGraph graph(split.initial);
+  GraphBoltEngine<Algo> engine(&graph, algo);
+  engine.InitialCompute();
+  const uint64_t base = ResetFootprintBytes<Algo>(graph);
+  const uint64_t store = engine.store().actual_bytes();
+
+  // The compact per-vertex backend (§4.1 layout) realizes vertical pruning
+  // as actual allocation, not just accounting.
+  MutableGraph compact_graph(split.initial);
+  GraphBoltEngine<Algo, CompactDependencyStore<typename Algo::Aggregate>> compact(
+      &compact_graph, algo);
+  compact.InitialCompute();
+  const uint64_t compact_bytes = compact.store().logical_bytes();
+
+  std::printf(" %8.1f MB %9.1f MB %8.1f%% %9.1f MB %8.1f%%  (kept: %.0f%% of V*t)\n",
+              static_cast<double>(base) / 1048576.0, static_cast<double>(store) / 1048576.0,
+              100.0 * static_cast<double>(store) / static_cast<double>(base),
+              static_cast<double>(compact_bytes) / 1048576.0,
+              100.0 * static_cast<double>(compact_bytes) / static_cast<double>(base),
+              100.0 * static_cast<double>(compact.store().logical_entries()) /
+                  (static_cast<double>(graph.num_vertices()) * compact.store().tracked_levels()));
+}
+
+void Run() {
+  PrintHeader(
+      "Table 9: dependency-store memory overhead of GraphBolt relative to\n"
+      "the GB-Reset baseline (graph + value + aggregation arrays). The\n"
+      "'entries kept' column shows vertical pruning at work: stabilized\n"
+      "per-vertex aggregations are not re-stored.");
+
+  for (const Surrogate& surrogate : {kWiki, kFriendster}) {
+    std::printf("\nGraph %s (%u vertices, %llu edges after 50%% load):\n", surrogate.name,
+                surrogate.vertices, static_cast<unsigned long long>(surrogate.edges / 2));
+    std::printf("%-6s %11s %12s %9s %12s %9s\n", "algo", "GB-Reset", "dense", "ovh", "compact",
+                "ovh");
+    StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
+    Row("PR", split, PageRank(0.85, kBenchTolerance));
+    Row("BP", split, BeliefPropagation<3>(13, kBenchTolerance));
+    Row("CoEM", split, CoEM(surrogate.vertices, 0.08, surrogate.seed + 71, kBenchTolerance));
+    Row("LP", split, LabelPropagation<2>(surrogate.vertices, 0.1, surrogate.seed + 72, kBenchTolerance));
+    Row("CF", split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3));
+  }
+
+  std::printf(
+      "\nExpected shape (Table 9): overhead is a bounded fraction of the\n"
+      "baseline; scalar-aggregation algorithms (PR, CoEM) cheapest, wide\n"
+      "aggregations (CF: K^2+K doubles per vertex) the most expensive.\n"
+      "Absolute percentages differ from the paper's 11-59%% because our\n"
+      "surrogate graphs are far sparser per vertex than Twitter/Yahoo, so\n"
+      "the graph structure contributes less to the baseline.\n");
+}
+
+}  // namespace
+}  // namespace graphbolt
+
+int main() {
+  graphbolt::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the smallest end-to-end GraphBolt program.
+//
+// Builds a streaming graph, computes PageRank once, then applies edge
+// mutations and lets dependency-driven refinement produce the new ranks —
+// verified against a from-scratch restart.
+//
+// Run:  ./example_quickstart [--vertices N] [--edges M] [--batch B]
+#include <cstdio>
+
+#include "src/graphbolt.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace graphbolt;
+
+  ArgParser args("GraphBolt quickstart: streaming PageRank on an R-MAT graph");
+  args.AddInt("vertices", 10000, "number of vertices");
+  args.AddInt("edges", 100000, "number of edges");
+  args.AddInt("batch", 100, "mutations per batch");
+  if (!args.Parse(argc, argv)) {
+    return 1;
+  }
+
+  // 1. Build the initial snapshot: load 50% of a synthetic graph, keep the
+  //    rest as the stream of future edge insertions (the paper's setup).
+  EdgeList full = GenerateRmat(static_cast<VertexId>(args.GetInt("vertices")),
+                               static_cast<EdgeIndex>(args.GetInt("edges")));
+  StreamSplit split = SplitForStreaming(full, 0.5, /*seed=*/1);
+  MutableGraph graph(split.initial);
+  std::printf("initial graph: %u vertices, %llu edges\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // 2. Initial computation with dependency tracking.
+  GraphBoltEngine<PageRank> engine(&graph, PageRank{});
+  engine.InitialCompute();
+  std::printf("initial PageRank: %.1f ms (%llu edge computations)\n",
+              engine.stats().seconds * 1e3,
+              static_cast<unsigned long long>(engine.stats().edges_processed));
+
+  // 3. Stream mutation batches; each ApplyMutations refines incrementally.
+  UpdateStream stream(split.held_back, /*seed=*/2);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(
+        graph, {.size = static_cast<size_t>(args.GetInt("batch")), .add_fraction = 0.7});
+    engine.ApplyMutations(batch);
+    std::printf("batch %d (%zu mutations): refine %.2f ms, structure %.2f ms, %llu edge comps\n",
+                round + 1, batch.size(), engine.stats().seconds * 1e3,
+                engine.stats().mutation_seconds * 1e3,
+                static_cast<unsigned long long>(engine.stats().edges_processed));
+  }
+
+  // 4. Verify against a from-scratch run on the final snapshot.
+  MutableGraph verify_graph(graph.ToEdgeList());
+  LigraEngine<PageRank> restart(&verify_graph, PageRank{});
+  restart.Compute();
+  double max_gap = 0.0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_gap = std::max(max_gap, std::fabs(engine.values()[v] - restart.values()[v]));
+  }
+  std::printf("max |refined - restart| = %.2e  (BSP semantics %s)\n", max_gap,
+              max_gap < 1e-7 ? "PRESERVED" : "VIOLATED");
+  return max_gap < 1e-7 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Triangle Counting (Table 4):
+//
+//   T(G) = Σ_{(u,v) ∈ E} | in_neighbors(u) ∩ out_neighbors(v) |
+//
+// TC is not iterative: mutations have purely local impact (§5.2), so
+// GraphBolt adjusts the count by recounting only the per-edge terms whose
+// inputs changed — the term edges themselves (Ea, Ed) plus persisting edges
+// (u, v) where u gained/lost an in-edge or v gained/lost an out-edge. The
+// restart baseline (Ligra == GB-Reset for TC) recounts every term.
+#ifndef SRC_ALGORITHMS_TRIANGLE_COUNTING_H_
+#define SRC_ALGORITHMS_TRIANGLE_COUNTING_H_
+
+#include <cstdint>
+
+#include "src/engine/stats.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+
+namespace graphbolt {
+
+// Full count over every edge term. `stats`, if non-null, accumulates the
+// number of adjacency entries scanned (the edge-computation metric).
+uint64_t CountTriangles(const MutableGraph& graph, EngineStats* stats = nullptr);
+
+// Incremental triangle counting over a stream of mutation batches.
+class TriangleCountingEngine {
+ public:
+  explicit TriangleCountingEngine(MutableGraph* graph) : graph_(graph) {}
+
+  // Full initial count.
+  void InitialCompute();
+
+  // Applies the batch and adjusts the count locally.
+  AppliedMutations ApplyMutations(const MutationBatch& batch);
+
+  uint64_t count() const { return count_; }
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  // Sum of the |in(u) ∩ out(v)| terms for the affected edge set of the
+  // current graph state. Used before and after the structural mutation.
+  uint64_t AffectedTermSum(const AppliedMutations& normalized, bool include_added);
+
+  MutableGraph* graph_;
+  uint64_t count_ = 0;
+  EngineStats stats_;
+};
+
+// Restart baseline: recounts everything after each batch.
+class TriangleCountingResetEngine {
+ public:
+  explicit TriangleCountingResetEngine(MutableGraph* graph) : graph_(graph) {}
+
+  void InitialCompute();
+  AppliedMutations ApplyMutations(const MutationBatch& batch);
+
+  uint64_t count() const { return count_; }
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  MutableGraph* graph_;
+  uint64_t count_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_ALGORITHMS_TRIANGLE_COUNTING_H_

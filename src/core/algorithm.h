@@ -1,0 +1,98 @@
+// The generalized incremental programming model (§3.3, §4.2).
+//
+// A graph algorithm is a value type describing one BSP computation:
+//
+//   c_i(v) = ∮( ⊕_{(u,v) ∈ E} contribution(c_{i-1}(u)) )
+//
+// The algorithm supplies the aggregation operator ⊕ (`AggregateAtomic`),
+// its inverse ⋃- (`RetractAtomic`), the per-edge contribution function, and
+// the vertex function ∮ (`VertexCompute`). The engines derive everything
+// else: Ligra-style restart processing, GB-Reset delta processing, and
+// GraphBolt dependency-driven refinement all run the *same* algorithm
+// struct.
+//
+// Aggregation kinds:
+//  - kDecomposable: ⊕ has an inverse acting on single contributions (sum,
+//    product). Refinement uses retract/aggregate pairs, and simple
+//    difference-style deltas collapse into one pass.
+//  - kComplex: decomposed into simple sub-aggregations whose inputs are
+//    transformed vertex values (BP products, CF matrix sums). The engine
+//    re-derives old contributions from old values on the fly ("on-the-fly
+//    evaluation of discrete contributions") and issues retract+aggregate
+//    pairs — the GraphBolt-RP execution mode of §5.4.
+//  - kNonDecomposable: no inverse (min/max). The engine re-evaluates the
+//    aggregation by pulling the full in-neighborhood of impacted vertices.
+#ifndef SRC_CORE_ALGORITHM_H_
+#define SRC_CORE_ALGORITHM_H_
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/mutable_graph.h"
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+enum class AggregationKind {
+  kDecomposable,
+  kComplex,
+  kNonDecomposable,
+};
+
+// Per-vertex structural context captured at computation time. Contribution
+// and vertex functions may depend on it (PageRank divides by out-degree,
+// CoEM normalizes by the in-weight sum). Refinement keeps the pre-mutation
+// snapshot so old contributions can be reproduced exactly.
+struct VertexContext {
+  uint32_t out_degree = 0;
+  uint32_t in_degree = 0;
+  double out_weight_sum = 0.0;
+  double in_weight_sum = 0.0;
+
+  friend bool operator==(const VertexContext&, const VertexContext&) = default;
+};
+
+// Computes the context of every vertex of `graph` (one pass over both edge
+// directions).
+std::vector<VertexContext> ComputeVertexContexts(const MutableGraph& graph);
+
+// Optional marker: the aggregation absorbs improved inputs without
+// retraction (min/max-style idempotent domination). When a mutation batch
+// contains only edge additions, values can only improve, so the engine may
+// push improved contributions directly instead of re-evaluating full
+// in-neighborhoods (§5.4B: "edge additions in SSSP can be computed
+// incrementally by min without re-evaluating it").
+template <typename A>
+constexpr bool IsMonotonicAggregation() {
+  if constexpr (requires { A::kMonotonic; }) {
+    return A::kMonotonic;
+  } else {
+    return false;
+  }
+}
+
+// The compile-time contract every algorithm satisfies. Engines are
+// templates over `Algo`; this concept documents and enforces the surface.
+template <typename A>
+concept GraphAlgorithm = requires(const A algo, typename A::Aggregate* agg,
+                                  const typename A::Aggregate& agg_const,
+                                  const typename A::Value& value,
+                                  const typename A::Contribution& contribution,
+                                  VertexId v, Weight w, const VertexContext& ctx) {
+  typename A::Value;
+  typename A::Aggregate;
+  typename A::Contribution;
+  { A::kKind } -> std::convertible_to<AggregationKind>;
+  { algo.InitialValue(v, ctx) } -> std::same_as<typename A::Value>;
+  { algo.IdentityAggregate() } -> std::same_as<typename A::Aggregate>;
+  { algo.ContributionOf(v, value, w, ctx) } -> std::same_as<typename A::Contribution>;
+  { algo.AggregateAtomic(agg, contribution) };
+  { algo.RetractAtomic(agg, contribution) };
+  { algo.VertexCompute(v, agg_const, ctx) } -> std::same_as<typename A::Value>;
+  { algo.ValuesDiffer(value, value) } -> std::same_as<bool>;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_CORE_ALGORITHM_H_

@@ -1,0 +1,779 @@
+// The GraphBolt engine: BSP processing with dependency tracking, and
+// dependency-driven value refinement on graph mutation (§3, §4).
+//
+// Initial computation runs the same selective-scheduling BSP loop as the
+// GB-Reset baseline, but snapshots the aggregation array g_i(v) and the
+// changed-vertex bits after every iteration into a DependencyStore.
+//
+// On a mutation batch (Ea, Ed) the engine refines the tracked levels
+// iteration by iteration (§3.3):
+//
+//   g^T_i(v) = g_i(v)  ⊎_{(u,v) ∈ Ea} contrib(c_{i-1}(u))
+//                      ⋃-_{(u,v) ∈ Ed} contrib(c_{i-1}(u))
+//                      ⋃△_{(u,v) ∈ E^T, contrib changed} contrib(c^T_{i-1}(u))
+//
+// where "contrib changed" covers both value changes and vertex-context
+// changes (a mutation changes the endpoint's degree, which changes its
+// contribution along *all* its edges — Algorithm 3's old_degree/new_degree).
+// The direct terms use old values with old contexts; the transitive term
+// retracts (old value, old context) and aggregates (new value, new context)
+// so the sum telescopes to exactly the new graph's aggregation.
+//
+// Past the tracked history (horizontal pruning) the engine switches to
+// computation-aware hybrid execution (§4.2): selective pull-recomputation
+// seeded by the per-iteration changed-vertex bit vectors recorded during the
+// original run. Every vertex whose value could change — through the new
+// dynamics (out-neighbors of the current frontier) or through the original
+// dynamics (the recorded changed set) — is recomputed from its full
+// in-neighborhood, so the continuation is still exact BSP.
+//
+// Non-decomposable aggregations (min/max) cannot retract; for those the
+// engine re-evaluates impacted vertices by pulling the full in-neighborhood
+// at every refined level (§3.3 "Aggregation Properties & Extensions").
+#ifndef SRC_CORE_GRAPHBOLT_ENGINE_H_
+#define SRC_CORE_GRAPHBOLT_ENGINE_H_
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/algorithm.h"
+#include "src/core/dependency_store.h"
+#include "src/engine/reset_engine.h"  // HasDeltaContribution
+#include "src/engine/stats.h"
+#include "src/engine/vertex_subset.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+#include "src/parallel/parallel_for.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+// `StoreT` selects the dependency-storage backend: the default dense
+// per-level DependencyStore, or CompactDependencyStore for the paper's
+// per-vertex contiguous layout with real vertical-pruning savings.
+template <GraphAlgorithm Algo, typename StoreT = DependencyStore<typename Algo::Aggregate>>
+class GraphBoltEngine {
+ public:
+  using Value = typename Algo::Value;
+  using Aggregate = typename Algo::Aggregate;
+
+  struct Options {
+    uint32_t max_iterations = 10;
+    bool run_to_convergence = false;
+    // Horizontal pruning: number of iterations whose aggregations are
+    // tracked. Refinement past this point uses hybrid execution. Must be
+    // at least 1.
+    uint32_t history_size = 1u << 30;
+    // Forces retract+propagate pairs even when the algorithm offers a
+    // combined delta (the GraphBolt-RP configuration of §5.4A).
+    bool use_retract_propagate = false;
+    // Computation-aware fallback (extension): when > 0, a batch mutating
+    // more than this fraction of the graph's edges triggers a full
+    // recompute-with-tracking instead of refinement — at such densities
+    // refinement cost approaches (or exceeds) a GB-Reset restart.
+    double reset_fallback_fraction = 0.0;
+    // Ablation switch: disables the monotonic push fast path for
+    // addition-only batches, forcing full min/max re-evaluation.
+    bool disable_monotonic_push = false;
+  };
+
+  GraphBoltEngine(MutableGraph* graph, Algo algo, Options options = {})
+      : graph_(graph), algo_(std::move(algo)), options_(options) {
+    GB_CHECK(options_.history_size >= 1) << "history_size must be >= 1";
+  }
+
+  // Runs the full computation from initial values, tracking dependencies.
+  void InitialCompute() {
+    Timer timer;
+    stats_.Clear();
+    contexts_ = ComputeVertexContexts(*graph_);
+    const VertexId n = graph_->num_vertices();
+    store_.Reset(n, options_.history_size);
+    values_.assign(n, Value{});
+    aggregates_.assign(n, algo_.IdentityAggregate());
+    ParallelFor(0, n, [&](size_t v) {
+      values_[v] = algo_.InitialValue(static_cast<VertexId>(v), contexts_[v]);
+    });
+
+    std::vector<std::pair<VertexId, Value>> frontier = FirstIteration();
+    while (store_.total_levels() < options_.max_iterations) {
+      if (options_.run_to_convergence && frontier.empty()) {
+        break;
+      }
+      frontier = TrackedIteration(frontier);
+    }
+    stats_.iterations = store_.total_levels();
+    stats_.seconds = timer.Seconds();
+  }
+
+  // Applies the batch to the graph, refines the dependency store, and
+  // continues computation to produce the new snapshot's final values.
+  AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    Timer mutation_timer;
+    AppliedMutations applied = graph_->ApplyBatch(batch);
+    const double mutation_seconds = mutation_timer.Seconds();
+
+    const size_t mutated = applied.added.size() + applied.deleted.size();
+    if (options_.reset_fallback_fraction > 0.0 &&
+        static_cast<double>(mutated) >
+            options_.reset_fallback_fraction * static_cast<double>(graph_->num_edges())) {
+      InitialCompute();  // rebuilds values and the dependency store
+      stats_.mutation_seconds = mutation_seconds;
+      return applied;
+    }
+
+    Timer timer;
+    stats_.Clear();
+    stats_.mutation_seconds = mutation_seconds;
+    if (!applied.Empty()) {
+      Refine(applied);
+    }
+    stats_.seconds = timer.Seconds();
+    return applied;
+  }
+
+  // Buffers mutations that arrive while a refinement is in flight (§4.1:
+  // "Mutations arriving during refinement are buffered to prioritize
+  // latency of the ongoing refinement step, and are applied immediately
+  // after refining finishes"). Call ProcessPending() at the next quiescent
+  // point to apply everything buffered so far as one batch.
+  void EnqueueMutations(const MutationBatch& batch) {
+    pending_.insert(pending_.end(), batch.begin(), batch.end());
+  }
+
+  size_t pending_mutation_count() const { return pending_.size(); }
+
+  AppliedMutations ProcessPending() {
+    MutationBatch batch;
+    batch.swap(pending_);
+    return ApplyMutations(batch);
+  }
+
+  // Persists the engine's computed state (values + dependency store) so a
+  // streaming session can resume in a fresh process. The graph itself is
+  // saved separately (src/graph/io.h); LoadState must be called on an
+  // engine whose graph already holds the same snapshot. Returns false on IO
+  // failure or mismatched state.
+  bool SaveState(const std::string& path) const {
+    static_assert(std::is_trivially_copyable_v<Value>);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      GB_LOG(kError) << "cannot open " << path << " for writing";
+      return false;
+    }
+    const uint64_t magic = kStateMagic;
+    const uint64_t n = values_.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(values_.data()),
+              static_cast<std::streamsize>(n * sizeof(Value)));
+    store_.SerializeTo(out);
+    return static_cast<bool>(out);
+  }
+
+  bool LoadState(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      GB_LOG(kError) << "cannot open " << path;
+      return false;
+    }
+    uint64_t magic = 0;
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || magic != kStateMagic) {
+      GB_LOG(kError) << path << " is not a graphbolt engine state";
+      return false;
+    }
+    if (n != graph_->num_vertices()) {
+      GB_LOG(kError) << "state has " << n << " vertices but the graph has "
+                     << graph_->num_vertices();
+      return false;
+    }
+    values_.resize(n);
+    in.read(reinterpret_cast<char*>(values_.data()),
+            static_cast<std::streamsize>(n * sizeof(Value)));
+    if (!in || !store_.DeserializeFrom(in)) {
+      GB_LOG(kError) << path << " truncated or malformed";
+      return false;
+    }
+    contexts_ = ComputeVertexContexts(*graph_);
+    return true;
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+  const EngineStats& stats() const { return stats_; }
+  const StoreT& store() const { return store_; }
+  const Algo& algorithm() const { return algo_; }
+
+ private:
+  static constexpr bool kPullBased = Algo::kKind == AggregationKind::kNonDecomposable;
+  static constexpr uint64_t kStateMagic = 0x47424f4c54535431ULL;  // "GBOLTST1"
+
+  struct FrontierEntry {
+    VertexId v;
+    Value old_value;  // value in the pre-mutation run
+    Value new_value;  // value in the refined run
+  };
+
+  // Epoch-stamped per-level scratch recording the old and new values of
+  // every vertex touched while refining one level. Two instances alternate
+  // between consecutive levels, giving O(1) old/new value lookups without
+  // hashing.
+  struct LevelScratch {
+    std::vector<Value> old_values;
+    std::vector<Value> new_values;
+    std::vector<uint32_t> stamps;
+    uint32_t epoch = 0;
+
+    void Prepare(VertexId n) {
+      if (stamps.size() < n) {
+        stamps.resize(n, 0);
+        old_values.resize(n);
+        new_values.resize(n);
+      }
+      ++epoch;
+    }
+    bool Has(VertexId v) const { return stamps[v] == epoch; }
+    void Record(VertexId v, const Value& old_value) {
+      stamps[v] = epoch;
+      old_values[v] = old_value;
+      new_values[v] = old_value;
+    }
+  };
+
+  // ----- Initial (tracked) computation -------------------------------------
+
+  // Iteration 1: full pull pass over every vertex. Returns the changed set
+  // carrying pre-change values, and snapshots level 1.
+  std::vector<std::pair<VertexId, Value>> FirstIteration() {
+    const VertexId n = graph_->num_vertices();
+    std::atomic<uint64_t> edges{0};
+    ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+      uint64_t local_edges = 0;
+      for (size_t vi = lo; vi < hi; ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        const auto in_nbrs = graph_->InNeighbors(v);
+        const auto in_wts = graph_->InWeights(v);
+        for (size_t i = 0; i < in_nbrs.size(); ++i) {
+          const VertexId u = in_nbrs[i];
+          algo_.AggregateAtomic(&aggregates_[vi],
+                                algo_.ContributionOf(u, values_[u], in_wts[i], contexts_[u]));
+        }
+        local_edges += in_nbrs.size();
+      }
+      edges.fetch_add(local_edges, std::memory_order_relaxed);
+    });
+    stats_.edges_processed += edges.load();
+    return CommitIteration(VertexSubset::All(n));
+  }
+
+  // Iterations >= 2: selective delta processing (push) or selective pull
+  // re-evaluation for non-decomposable aggregations. Snapshots the level.
+  std::vector<std::pair<VertexId, Value>> TrackedIteration(
+      const std::vector<std::pair<VertexId, Value>>& frontier) {
+    const VertexId n = graph_->num_vertices();
+    FrontierBuilder touched(n);
+    std::atomic<uint64_t> edges{0};
+
+    if constexpr (kPullBased) {
+      ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          for (const VertexId w : graph_->OutNeighbors(frontier[i].first)) {
+            touched.Claim(w);
+          }
+        }
+      }, /*grain=*/64);
+      VertexSubset targets = touched.Take();
+      ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+        uint64_t local_edges = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          const VertexId v = targets.members()[i];
+          aggregates_[v] = PullAggregate(v, values_, &local_edges);
+        }
+        edges.fetch_add(local_edges, std::memory_order_relaxed);
+      }, /*grain=*/64);
+      stats_.edges_processed += edges.load();
+      return CommitIteration(targets);
+    } else {
+      ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+        uint64_t local_edges = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          const auto& [u, old_value] = frontier[i];
+          const auto out_nbrs = graph_->OutNeighbors(u);
+          const auto out_wts = graph_->OutWeights(u);
+          for (size_t e = 0; e < out_nbrs.size(); ++e) {
+            const VertexId w = out_nbrs[e];
+            PushChange(u, old_value, values_[u], out_wts[e], contexts_[u], contexts_[u],
+                       &aggregates_[w]);
+            touched.Claim(w);
+          }
+          local_edges += out_nbrs.size();
+        }
+        edges.fetch_add(local_edges, std::memory_order_relaxed);
+      }, /*grain=*/64);
+      stats_.edges_processed += edges.load();
+      return CommitIteration(touched.Take());
+    }
+  }
+
+  // Computes new values for `targets`, snapshots the level (aggregates +
+  // changed bits), and returns the changed set.
+  std::vector<std::pair<VertexId, Value>> CommitIteration(const VertexSubset& targets) {
+    const VertexId n = graph_->num_vertices();
+    AtomicBitset changed_bits(n);
+    std::vector<std::pair<VertexId, Value>> changed;
+    std::mutex merge;
+    ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+      std::vector<std::pair<VertexId, Value>> local;
+      for (size_t i = lo; i < hi; ++i) {
+        const VertexId v = targets.members()[i];
+        const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
+        if (algo_.ValuesDiffer(values_[v], next)) {
+          changed_bits.Set(v);
+          local.emplace_back(v, values_[v]);
+          values_[v] = next;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge);
+      changed.insert(changed.end(), local.begin(), local.end());
+    }, /*grain=*/256);
+    store_.SnapshotLevel(store_.total_levels() + 1, aggregates_, std::move(changed_bits));
+    return changed;
+  }
+
+  // ----- Refinement ---------------------------------------------------------
+
+  // Applies one change (retract old / aggregate new, or a combined delta) to
+  // a target aggregation cell.
+  void PushChange(VertexId u, const Value& old_value, const Value& new_value, Weight w,
+                  const VertexContext& old_ctx, const VertexContext& new_ctx, Aggregate* agg) {
+    if constexpr (HasDeltaContribution<Algo>) {
+      if (!options_.use_retract_propagate) {
+        algo_.AggregateAtomic(agg, algo_.DeltaContribution(u, old_value, new_value, w, old_ctx, new_ctx));
+        return;
+      }
+    }
+    algo_.RetractAtomic(agg, algo_.ContributionOf(u, old_value, w, old_ctx));
+    algo_.AggregateAtomic(agg, algo_.ContributionOf(u, new_value, w, new_ctx));
+  }
+
+  // Re-evaluates g(v) by pulling the full in-neighborhood with `vals`.
+  Aggregate PullAggregate(VertexId v, const std::vector<Value>& vals, uint64_t* edge_counter) {
+    Aggregate agg = algo_.IdentityAggregate();
+    const auto in_nbrs = graph_->InNeighbors(v);
+    const auto in_wts = graph_->InWeights(v);
+    for (size_t i = 0; i < in_nbrs.size(); ++i) {
+      const VertexId u = in_nbrs[i];
+      algo_.AggregateAtomic(&agg, algo_.ContributionOf(u, vals[u], in_wts[i], contexts_[u]));
+    }
+    *edge_counter += in_nbrs.size();
+    return agg;
+  }
+
+  // c_{level}(v) in the *pre-mutation* run. `prev` holds snapshotted old
+  // values of vertices refined at `level`; untouched vertices still hold
+  // their old aggregation in the store.
+  Value OldValueAt(uint32_t level, VertexId v, const std::vector<VertexContext>& old_contexts,
+                   const LevelScratch& prev) const {
+    if (level == 0) {
+      return algo_.InitialValue(v, old_contexts[v]);
+    }
+    if (prev.Has(v)) {
+      return prev.old_values[v];
+    }
+    return algo_.VertexCompute(v, store_.At(level, v), old_contexts[v]);
+  }
+
+  // c^T_{level}(v) in the refined run; valid once level has been refined.
+  Value NewValueAt(uint32_t level, VertexId v) const {
+    if (level == 0) {
+      return algo_.InitialValue(v, contexts_[v]);
+    }
+    return algo_.VertexCompute(v, store_.At(level, v), contexts_[v]);
+  }
+
+  // Fast path reading the scratch of `level` when v was touched there.
+  Value NewValueAt(uint32_t level, VertexId v, const LevelScratch& scratch) const {
+    if (level >= 1 && scratch.Has(v)) {
+      return scratch.new_values[v];
+    }
+    return NewValueAt(level, v);
+  }
+
+  void Refine(const AppliedMutations& applied) {
+    const VertexId n = graph_->num_vertices();
+    const VertexId old_n = store_.num_vertices();
+    std::vector<VertexContext> old_contexts = std::move(contexts_);
+    old_contexts.resize(n);  // new vertices: empty old context
+    contexts_ = ComputeVertexContexts(*graph_);
+    store_.GrowVertices(n, algo_.IdentityAggregate());
+    values_.resize(n, Value{});
+    // New vertices behave as if they had existed isolated all along; the
+    // value of an isolated vertex is constant from iteration 1 onward.
+    for (VertexId v = old_n; v < n; ++v) {
+      values_[v] = algo_.VertexCompute(v, algo_.IdentityAggregate(), contexts_[v]);
+    }
+
+    const uint32_t tracked = store_.tracked_levels();
+    const uint32_t orig_total = store_.total_levels();
+
+    // Contributors whose context changed: their contribution along every
+    // out-edge changes even if their value does not.
+    AtomicBitset ctx_changed_bits(n);
+    std::vector<VertexId> ctx_changed;
+    auto note_endpoint = [&](VertexId v) {
+      if (!(old_contexts[v] == contexts_[v]) && ctx_changed_bits.Set(v)) {
+        ctx_changed.push_back(v);
+      }
+    };
+    for (const Edge& e : applied.added) {
+      note_endpoint(e.src);
+      note_endpoint(e.dst);
+    }
+    for (const Edge& e : applied.deleted) {
+      note_endpoint(e.src);
+      note_endpoint(e.dst);
+    }
+
+    // Level-0 frontier: only context-changed vertices can differ.
+    std::vector<FrontierEntry> frontier;
+    for (const VertexId v : ctx_changed) {
+      frontier.push_back({v, algo_.InitialValue(v, old_contexts[v]),
+                          algo_.InitialValue(v, contexts_[v])});
+    }
+
+    LevelScratch scratch[2];
+    scratch[0].Prepare(n);  // stands in for "level 0": nothing touched
+    for (uint32_t level = 1; level <= tracked; ++level) {
+      frontier = RefineLevel(level, applied, frontier, ctx_changed, old_contexts,
+                             scratch[(level - 1) & 1], &scratch[level & 1]);
+      ++stats_.iterations;
+    }
+    // Give the storage backend a chance to drop suffixes that refinement
+    // re-expanded but that ended up stable again (no-op for the dense store).
+    store_.RepruneTails(VertexSubset::All(n));
+
+    // Decide whether the computation must continue past the refined levels:
+    // untracked original iterations remain, or (in convergence mode) the
+    // refined run is still changing at the last refined level.
+    const bool more_levels = tracked < orig_total;
+    const bool still_changing =
+        options_.run_to_convergence && tracked >= 1 && store_.ChangedAt(tracked).Count() > 0;
+    if (more_levels || still_changing) {
+      ContinueBeyondHistory(tracked, orig_total);
+    } else {
+      for (const FrontierEntry& entry : frontier) {
+        values_[entry.v] = entry.new_value;
+      }
+    }
+  }
+
+  // Refines one tracked level; returns the next frontier (changed values and
+  // context-changed contributors). `prev` is the scratch filled while
+  // refining level-1; `cur` receives this level's touched old/new values.
+  std::vector<FrontierEntry> RefineLevel(uint32_t level, const AppliedMutations& applied,
+                                         const std::vector<FrontierEntry>& frontier,
+                                         const std::vector<VertexId>& ctx_changed,
+                                         const std::vector<VertexContext>& old_contexts,
+                                         const LevelScratch& prev, LevelScratch* cur) {
+    const VertexId n = graph_->num_vertices();
+    std::atomic<uint64_t> edges{0};
+    cur->Prepare(n);
+
+    // 1. Targets of this level: direct mutation targets plus out-neighbors
+    //    of the previous level's changed contributors.
+    FrontierBuilder touched(n);
+    for (const Edge& e : applied.added) {
+      touched.Claim(e.dst);
+    }
+    for (const Edge& e : applied.deleted) {
+      touched.Claim(e.dst);
+    }
+    ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        for (const VertexId w : graph_->OutNeighbors(frontier[i].v)) {
+          touched.Claim(w);
+        }
+      }
+    }, /*grain=*/64);
+    VertexSubset targets = touched.Take();
+
+    // Materialize the targets' aggregations into a dense scratch the
+    // mutation passes operate on; every write below lands on a target, so
+    // committing the targets back is a complete update of the level.
+    store_.MaterializeLevel(level, targets, &level_scratch_);
+    std::vector<Aggregate>& agg = level_scratch_;
+
+    // 2. Snapshot old values of targets before mutating this level.
+    ParallelFor(0, targets.size(), [&](size_t i) {
+      const VertexId v = targets.members()[i];
+      cur->Record(v, algo_.VertexCompute(v, agg[v], old_contexts[v]));
+    }, /*grain=*/256);
+
+    if constexpr (kPullBased) {
+      // 3a-fast. Monotonic aggregations with addition-only batches: values
+      // only improve, and the aggregation absorbs improved inputs without
+      // retraction, so push the improved contributions directly (§5.4B).
+      const bool push_only = IsMonotonicAggregation<Algo>() && applied.deleted.empty() &&
+                             !options_.disable_monotonic_push;
+      if (push_only) {
+        for (const Edge& e : applied.added) {
+          algo_.AggregateAtomic(&agg[e.dst],
+                                algo_.ContributionOf(e.src, NewValueAt(level - 1, e.src, prev),
+                                                     e.weight, contexts_[e.src]));
+        }
+        stats_.edges_processed += applied.added.size();
+        ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            const FrontierEntry& entry = frontier[i];
+            const auto out_nbrs = graph_->OutNeighbors(entry.v);
+            const auto out_wts = graph_->OutWeights(entry.v);
+            for (size_t e = 0; e < out_nbrs.size(); ++e) {
+              algo_.AggregateAtomic(&agg[out_nbrs[e]],
+                                    algo_.ContributionOf(entry.v, entry.new_value, out_wts[e],
+                                                         contexts_[entry.v]));
+            }
+            local_edges += out_nbrs.size();
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/64);
+      } else {
+        // 3a. Non-decomposable: re-evaluate each target from its full new
+        // in-neighborhood using refined level-1 values.
+        ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            const VertexId v = targets.members()[i];
+            Aggregate fresh = algo_.IdentityAggregate();
+            const auto in_nbrs = graph_->InNeighbors(v);
+            const auto in_wts = graph_->InWeights(v);
+            for (size_t e = 0; e < in_nbrs.size(); ++e) {
+              const VertexId u = in_nbrs[e];
+              algo_.AggregateAtomic(
+                  &fresh, algo_.ContributionOf(u, NewValueAt(level - 1, u, prev), in_wts[e],
+                                               contexts_[u]));
+            }
+            local_edges += in_nbrs.size();
+            agg[v] = fresh;
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/64);
+      }
+    } else {
+      // 3b. Direct impact: ⊎ new edges' old contributions, ⋃- deleted ones.
+      for (const Edge& e : applied.added) {
+        const Value old_src = OldValueAt(level - 1, e.src, old_contexts, prev);
+        algo_.AggregateAtomic(&agg[e.dst],
+                              algo_.ContributionOf(e.src, old_src, e.weight, old_contexts[e.src]));
+      }
+      for (const Edge& e : applied.deleted) {
+        const Value old_src = OldValueAt(level - 1, e.src, old_contexts, prev);
+        algo_.RetractAtomic(&agg[e.dst],
+                            algo_.ContributionOf(e.src, old_src, e.weight, old_contexts[e.src]));
+      }
+      stats_.edges_processed += applied.added.size() + applied.deleted.size();
+
+      // 4. Transitive impact: ⋃△ over out-edges (in E^T) of every changed
+      // contributor.
+      ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+        uint64_t local_edges = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          const FrontierEntry& entry = frontier[i];
+          const auto out_nbrs = graph_->OutNeighbors(entry.v);
+          const auto out_wts = graph_->OutWeights(entry.v);
+          for (size_t e = 0; e < out_nbrs.size(); ++e) {
+            PushChange(entry.v, entry.old_value, entry.new_value, out_wts[e],
+                       old_contexts[entry.v], contexts_[entry.v], &agg[out_nbrs[e]]);
+          }
+          local_edges += out_nbrs.size();
+        }
+        edges.fetch_add(local_edges, std::memory_order_relaxed);
+      }, /*grain=*/64);
+    }
+    stats_.edges_processed += edges.load();
+
+    // 5. Recompute target values, update changed bits, build next frontier.
+    AtomicBitset in_next(n);
+    std::vector<FrontierEntry> next;
+    std::mutex merge;
+    AtomicBitset& changed_bits = store_.MutableChangedAt(level);
+    ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+      std::vector<FrontierEntry> local;
+      for (size_t i = lo; i < hi; ++i) {
+        const VertexId v = targets.members()[i];
+        const Value new_val = algo_.VertexCompute(v, agg[v], contexts_[v]);
+        cur->new_values[v] = new_val;
+        const Value prev_new = NewValueAt(level - 1, v, prev);
+        if (algo_.ValuesDiffer(prev_new, new_val)) {
+          changed_bits.Set(v);
+        } else {
+          changed_bits.Clear(v);
+        }
+        if (algo_.ValuesDiffer(cur->old_values[v], new_val)) {
+          in_next.Set(v);
+          local.push_back({v, cur->old_values[v], new_val});
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge);
+      next.insert(next.end(), local.begin(), local.end());
+    }, /*grain=*/256);
+
+    // A vertex that changed at the previous level but is not a target here
+    // keeps its aggregation (and hence its value at this level), yet its
+    // changed bit must be refreshed: the bit compares against its *new*
+    // previous-level value.
+    for (const FrontierEntry& entry : frontier) {
+      if (touched.Contains(entry.v)) {
+        continue;
+      }
+      // Not a target: its aggregation was not materialized; read the store.
+      const Value here = algo_.VertexCompute(entry.v, store_.At(level, entry.v), contexts_[entry.v]);
+      if (algo_.ValuesDiffer(entry.new_value, here)) {
+        changed_bits.Set(entry.v);
+      } else {
+        changed_bits.Clear(entry.v);
+      }
+    }
+
+    // Context-changed contributors stay in the frontier at every level even
+    // when their value is unchanged.
+    for (const VertexId v : ctx_changed) {
+      if (in_next.Test(v)) {
+        continue;
+      }
+      if (cur->Has(v)) {
+        next.push_back({v, cur->old_values[v], cur->new_values[v]});
+      } else {
+        const Aggregate& untouched = store_.At(level, v);
+        const Value old_val = algo_.VertexCompute(v, untouched, old_contexts[v]);
+        cur->Record(v, old_val);
+        cur->new_values[v] = algo_.VertexCompute(v, untouched, contexts_[v]);
+        next.push_back({v, old_val, cur->new_values[v]});
+      }
+    }
+
+    store_.CommitLevel(level, targets, agg);
+    return next;
+  }
+
+  // ----- Hybrid continuation ------------------------------------------------
+
+  // Computation-aware hybrid execution past the refined history: selective
+  // pull-recomputation seeded by the changed-bit vectors.
+  void ContinueBeyondHistory(uint32_t from_level, uint32_t orig_total) {
+    const VertexId n = graph_->num_vertices();
+
+    // Full value array at the entry level.
+    std::vector<Value> cur(n);
+    ParallelFor(0, n, [&](size_t v) {
+      cur[v] = NewValueAt(from_level, static_cast<VertexId>(v));
+    }, /*grain=*/512);
+
+    // Frontier: vertices whose refined value changed at the entry level.
+    std::vector<VertexId> frontier;
+    if (from_level >= 1) {
+      const AtomicBitset& bits = store_.ChangedAt(from_level);
+      for (VertexId v = 0; v < n; ++v) {
+        if (bits.Test(v)) {
+          frontier.push_back(v);
+        }
+      }
+    }
+
+    uint32_t level = from_level + 1;
+    while (level <= orig_total ||
+           (options_.run_to_convergence && !frontier.empty() && level <= options_.max_iterations)) {
+      if (!options_.run_to_convergence && level > options_.max_iterations) {
+        break;
+      }
+      FrontierBuilder affected(n);
+      ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          for (const VertexId w : graph_->OutNeighbors(frontier[i])) {
+            affected.Claim(w);
+          }
+        }
+      }, /*grain=*/64);
+      if (level <= orig_total) {
+        // Replay the original dynamics: vertices that changed at this level
+        // in the pre-mutation run must be recomputed too.
+        const AtomicBitset& orig_bits = store_.ChangedAt(level);
+        for (VertexId v = 0; v < n; ++v) {
+          if (orig_bits.Test(v)) {
+            affected.Claim(v);
+          }
+        }
+      }
+      VertexSubset targets = affected.Take();
+
+      std::vector<Value> fresh(targets.size());
+      std::atomic<uint64_t> edges{0};
+      ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+        uint64_t local_edges = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          const VertexId v = targets.members()[i];
+          const Aggregate agg = PullAggregate(v, cur, &local_edges);
+          fresh[i] = algo_.VertexCompute(v, agg, contexts_[v]);
+        }
+        edges.fetch_add(local_edges, std::memory_order_relaxed);
+      }, /*grain=*/64);
+      stats_.edges_processed += edges.load();
+
+      // Commit (BSP barrier already passed), update changed bits, and build
+      // the next frontier.
+      std::vector<VertexId> next;
+      if (level <= orig_total) {
+        AtomicBitset& bits = store_.MutableChangedAt(level);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          const VertexId v = targets.members()[i];
+          const bool differs = algo_.ValuesDiffer(cur[v], fresh[i]);
+          if (differs) {
+            bits.Set(v);
+            next.push_back(v);
+          } else {
+            bits.Clear(v);
+          }
+          cur[v] = fresh[i];
+        }
+      } else {
+        AtomicBitset bits(n);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          const VertexId v = targets.members()[i];
+          if (algo_.ValuesDiffer(cur[v], fresh[i])) {
+            bits.Set(v);
+            next.push_back(v);
+          }
+          cur[v] = fresh[i];
+        }
+        store_.AppendChangedBits(std::move(bits));
+      }
+      frontier = std::move(next);
+      ++stats_.iterations;
+      ++level;
+    }
+    values_ = std::move(cur);
+  }
+
+  MutableGraph* graph_;
+  Algo algo_;
+  Options options_;
+  std::vector<VertexContext> contexts_;
+  std::vector<Value> values_;
+  std::vector<Aggregate> aggregates_;    // scratch for the initial run
+  std::vector<Aggregate> level_scratch_;  // refinement working copy of one level
+  StoreT store_;
+  EngineStats stats_;
+  MutationBatch pending_;  // mutations buffered during refinement
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_CORE_GRAPHBOLT_ENGINE_H_

@@ -1,0 +1,28 @@
+// Execution statistics reported by every engine. The Figure 6 / Table 7
+// benches compare `edges_processed` between GraphBolt and GB-Reset; the
+// timing tables read `seconds`.
+#ifndef SRC_ENGINE_STATS_H_
+#define SRC_ENGINE_STATS_H_
+
+#include <cstdint>
+
+namespace graphbolt {
+
+struct EngineStats {
+  // Edge computations (contribution evaluations) in the most recent
+  // compute/refine call.
+  uint64_t edges_processed = 0;
+  // Iterations executed (refined levels + continuation iterations).
+  uint32_t iterations = 0;
+  // Wall-clock seconds of the most recent compute/refine call, excluding
+  // graph-structure mutation time (reported separately, as in the paper).
+  double seconds = 0.0;
+  // Wall-clock seconds spent applying the structural mutation.
+  double mutation_seconds = 0.0;
+
+  void Clear() { *this = EngineStats{}; }
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_ENGINE_STATS_H_

@@ -1,0 +1,97 @@
+// Ligra-style vertex subsets (frontiers).
+//
+// A VertexSubset is the set of vertices active in a processing step. It is
+// held in sparse form (packed id vector) with an optional dense membership
+// bitset built on demand; engines choose representation by |subset| like
+// Ligra's direction optimization.
+#ifndef SRC_ENGINE_VERTEX_SUBSET_H_
+#define SRC_ENGINE_VERTEX_SUBSET_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/bitset.h"
+
+namespace graphbolt {
+
+class VertexSubset {
+ public:
+  VertexSubset() = default;
+
+  explicit VertexSubset(VertexId universe) : universe_(universe) {}
+
+  // A subset containing every vertex in [0, universe).
+  static VertexSubset All(VertexId universe) {
+    VertexSubset s(universe);
+    s.members_.resize(universe);
+    for (VertexId v = 0; v < universe; ++v) {
+      s.members_[v] = v;
+    }
+    return s;
+  }
+
+  VertexId universe() const { return universe_; }
+  size_t size() const { return members_.size(); }
+  bool Empty() const { return members_.empty(); }
+
+  const std::vector<VertexId>& members() const { return members_; }
+
+  void Add(VertexId v) { members_.push_back(v); }
+
+  // Sorts and removes duplicate members.
+  void Normalize() {
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+  }
+
+  // Builds (or rebuilds) the dense membership bitset.
+  const AtomicBitset& Dense() const {
+    if (dense_.size() != universe_) {
+      dense_.Resize(universe_);
+    } else {
+      dense_.ClearAll();
+    }
+    for (const VertexId v : members_) {
+      dense_.Set(v);
+    }
+    return dense_;
+  }
+
+ private:
+  VertexId universe_ = 0;
+  std::vector<VertexId> members_;
+  mutable AtomicBitset dense_;
+};
+
+// Concurrent frontier builder: threads claim membership through an atomic
+// bitset and append to thread-chunk-local vectors merged at the end.
+class FrontierBuilder {
+ public:
+  explicit FrontierBuilder(VertexId universe) : universe_(universe), claimed_(universe) {}
+
+  // Returns true if this call claimed v (first insertion wins).
+  bool Claim(VertexId v) { return claimed_.Set(v); }
+
+  bool Contains(VertexId v) const { return claimed_.Test(v); }
+
+  // Collects all claimed vertices into a subset. O(universe) scan; fine for
+  // the scales this repository targets.
+  VertexSubset Take() const {
+    VertexSubset subset(universe_);
+    for (VertexId v = 0; v < universe_; ++v) {
+      if (claimed_.Test(v)) {
+        subset.Add(v);
+      }
+    }
+    return subset;
+  }
+
+ private:
+  VertexId universe_;
+  AtomicBitset claimed_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_ENGINE_VERTEX_SUBSET_H_

@@ -1,0 +1,190 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/reducer.h"
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+Csr Csr::FromEdges(VertexId num_vertices, std::span<const Edge> edges, bool reverse) {
+  Csr csr;
+  csr.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+
+  std::vector<EdgeIndex> degrees(num_vertices, 0);
+  for (const Edge& e : edges) {
+    const VertexId from = reverse ? e.dst : e.src;
+    GB_CHECK(from < num_vertices) << "edge endpoint out of range";
+    ++degrees[from];
+  }
+  EdgeIndex running = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    csr.offsets_[v] = running;
+    running += degrees[v];
+  }
+  csr.offsets_[num_vertices] = running;
+
+  csr.targets_.resize(running);
+  csr.weights_.resize(running);
+  std::vector<EdgeIndex> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const VertexId from = reverse ? e.dst : e.src;
+    const VertexId to = reverse ? e.src : e.dst;
+    const EdgeIndex slot = cursor[from]++;
+    csr.targets_[slot] = to;
+    csr.weights_[slot] = e.weight;
+  }
+
+  // Sort each adjacency list by target (weights move with their targets).
+  ParallelFor(0, num_vertices, [&csr](size_t v) {
+    const EdgeIndex lo = csr.offsets_[v];
+    const EdgeIndex hi = csr.offsets_[v + 1];
+    const size_t degree = static_cast<size_t>(hi - lo);
+    if (degree <= 1) {
+      return;
+    }
+    std::vector<std::pair<VertexId, Weight>> scratch(degree);
+    for (size_t i = 0; i < degree; ++i) {
+      scratch[i] = {csr.targets_[lo + i], csr.weights_[lo + i]};
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < degree; ++i) {
+      csr.targets_[lo + i] = scratch[i].first;
+      csr.weights_[lo + i] = scratch[i].second;
+    }
+  }, /*grain=*/256);
+  return csr;
+}
+
+bool Csr::HasEdge(VertexId v, VertexId target) const {
+  const auto nbrs = Neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), target);
+}
+
+Weight Csr::EdgeWeight(VertexId v, VertexId target) const {
+  const auto nbrs = Neighbors(v);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), target);
+  if (it == nbrs.end() || *it != target) {
+    return kDefaultWeight;
+  }
+  return weights_[offsets_[v] + static_cast<EdgeIndex>(it - nbrs.begin())];
+}
+
+void Csr::ApplyEdits(const std::vector<std::vector<VertexId>>& deletes,
+                     const std::vector<std::vector<std::pair<VertexId, Weight>>>& adds) {
+  const VertexId n = num_vertices();
+  GB_CHECK(deletes.size() == n && adds.size() == n) << "edit arrays must cover all vertices";
+
+  // Pass 1: per-vertex degree deltas -> new offsets via prefix sum. An add
+  // whose target already exists (and is not being deleted) replaces the edge
+  // in place, so it does not increase the degree.
+  std::vector<EdgeIndex> new_degrees(n, 0);
+  ParallelFor(0, n, [&, this](size_t v) {
+    const size_t old_degree = Degree(static_cast<VertexId>(v));
+    GB_CHECK(deletes[v].size() <= old_degree) << "more deletions than edges at vertex " << v;
+    size_t overlap = 0;
+    const auto nbrs = Neighbors(static_cast<VertexId>(v));
+    size_t di = 0;
+    for (const auto& [target, weight] : adds[v]) {
+      while (di < deletes[v].size() && deletes[v][di] < target) {
+        ++di;
+      }
+      const bool deleted = di < deletes[v].size() && deletes[v][di] == target;
+      if (!deleted && std::binary_search(nbrs.begin(), nbrs.end(), target)) {
+        ++overlap;
+      }
+    }
+    new_degrees[v] = old_degree - deletes[v].size() + adds[v].size() - overlap;
+  });
+  std::vector<EdgeIndex> new_offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    new_offsets[v + 1] = new_offsets[v] + new_degrees[v];
+  }
+
+  // Pass 2: per-vertex three-way merge of (old \ deletes) with adds, in
+  // parallel over vertices. All inputs are sorted by target so the merge is
+  // linear and output lists stay sorted.
+  std::vector<VertexId> new_targets(new_offsets.back());
+  std::vector<Weight> new_weights(new_offsets.back());
+  ParallelFor(0, n, [&, this](size_t vi) {
+    const VertexId v = static_cast<VertexId>(vi);
+    const auto old_nbrs = Neighbors(v);
+    const auto old_wts = Weights(v);
+    const auto& del = deletes[vi];
+    const auto& add = adds[vi];
+    EdgeIndex out = new_offsets[vi];
+    size_t di = 0;
+    size_t ai = 0;
+    for (size_t i = 0; i < old_nbrs.size(); ++i) {
+      const VertexId t = old_nbrs[i];
+      // Insert pending additions that come before this survivor.
+      while (ai < add.size() && add[ai].first < t) {
+        new_targets[out] = add[ai].first;
+        new_weights[out] = add[ai].second;
+        ++out;
+        ++ai;
+      }
+      if (di < del.size() && del[di] == t) {
+        ++di;  // deleted: skip
+        continue;
+      }
+      if (ai < add.size() && add[ai].first == t) {
+        // Re-adding an existing edge updates its weight in place.
+        new_targets[out] = t;
+        new_weights[out] = add[ai].second;
+        ++out;
+        ++ai;
+        continue;
+      }
+      new_targets[out] = t;
+      new_weights[out] = old_wts[i];
+      ++out;
+    }
+    while (ai < add.size()) {
+      new_targets[out] = add[ai].first;
+      new_weights[out] = add[ai].second;
+      ++out;
+      ++ai;
+    }
+    GB_CHECK(out == new_offsets[vi + 1]) << "merge produced wrong degree at vertex " << v;
+  }, /*grain=*/256);
+
+  offsets_ = std::move(new_offsets);
+  targets_ = std::move(new_targets);
+  weights_ = std::move(new_weights);
+}
+
+void Csr::GrowVertices(VertexId new_count) {
+  const VertexId old_count = num_vertices();
+  if (new_count <= old_count) {
+    return;
+  }
+  const EdgeIndex tail = offsets_.empty() ? 0 : offsets_.back();
+  if (offsets_.empty()) {
+    offsets_.push_back(0);
+  }
+  offsets_.resize(static_cast<size_t>(new_count) + 1, tail);
+}
+
+bool Csr::CheckInvariants() const {
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return false;
+    }
+    const auto nbrs = Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        return false;
+      }
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
+        return false;  // unsorted or duplicate
+      }
+    }
+  }
+  return targets_.size() == num_edges() && weights_.size() == num_edges();
+}
+
+}  // namespace graphbolt

@@ -1,0 +1,76 @@
+// Compressed Sparse Row adjacency: the read-only core of the graph layout
+// described in §4.1 of the paper. A Csr stores out-edges; the same structure
+// built from reversed edges serves as the CSC (in-edge) view.
+//
+// Neighbor lists are kept sorted by target id, which gives O(log d) edge
+// lookup and linear-merge set intersection for Triangle Counting.
+#ifndef SRC_GRAPH_CSR_H_
+#define SRC_GRAPH_CSR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from an edge list; `reverse` builds the CSC (edges flipped).
+  static Csr FromEdges(VertexId num_vertices, std::span<const Edge> edges,
+                       bool reverse = false);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  EdgeIndex num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  size_t Degree(VertexId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbor targets of v, sorted ascending.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v], Degree(v)};
+  }
+
+  std::span<const Weight> Weights(VertexId v) const {
+    return {weights_.data() + offsets_[v], Degree(v)};
+  }
+
+  // True if edge (v, target) exists. O(log Degree(v)).
+  bool HasEdge(VertexId v, VertexId target) const;
+
+  // Weight of edge (v, target); kDefaultWeight if absent.
+  Weight EdgeWeight(VertexId v, VertexId target) const;
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  // Rebuilds this CSR applying per-vertex edits. For each vertex v,
+  // `deletes[v]` lists targets to remove and `adds[v]` lists (target, weight)
+  // pairs to insert; both must be sorted by target. This is the second pass
+  // of the two-pass mutation described in §4.1: the first pass (offset
+  // adjustment) is the prefix sum over the per-vertex degree deltas.
+  void ApplyEdits(const std::vector<std::vector<VertexId>>& deletes,
+                  const std::vector<std::vector<std::pair<VertexId, Weight>>>& adds);
+
+  // Grows the vertex set to `new_count` isolated vertices.
+  void GrowVertices(VertexId new_count);
+
+  // Validation: offsets monotone, targets in range and sorted. Used by tests
+  // and (in debug builds) after every mutation.
+  bool CheckInvariants() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size V+1
+  std::vector<VertexId> targets_;   // size E, sorted within each vertex
+  std::vector<Weight> weights_;     // size E, parallel to targets_
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_CSR_H_

@@ -1,0 +1,26 @@
+#include "src/graph/edge_list.h"
+
+#include <algorithm>
+
+namespace graphbolt {
+
+size_t EdgeList::SortAndDeduplicate() {
+  const size_t before = edges_.size();
+  std::sort(edges_.begin(), edges_.end(), EdgeEndpointLess{});
+  auto last = std::unique(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  });
+  edges_.erase(last, edges_.end());
+  auto self_loop = std::remove_if(edges_.begin(), edges_.end(),
+                                  [](const Edge& e) { return e.src == e.dst; });
+  edges_.erase(self_loop, edges_.end());
+  return before - edges_.size();
+}
+
+bool EdgeList::HasEdgeSorted(VertexId src, VertexId dst) const {
+  const Edge probe{src, dst, 0.0f};
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), probe, EdgeEndpointLess{});
+  return it != edges_.end() && it->src == src && it->dst == dst;
+}
+
+}  // namespace graphbolt

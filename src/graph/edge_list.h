@@ -1,0 +1,52 @@
+// A flat list of directed edges: the interchange format between generators,
+// file IO, and CSR construction.
+#ifndef SRC_GRAPH_EDGE_LIST_H_
+#define SRC_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+
+  void Add(VertexId src, VertexId dst, Weight weight = kDefaultWeight) {
+    edges_.push_back({src, dst, weight});
+    if (src >= num_vertices_) {
+      num_vertices_ = src + 1;
+    }
+    if (dst >= num_vertices_) {
+      num_vertices_ = dst + 1;
+    }
+  }
+
+  // Sorts by (src, dst) and removes duplicate endpoints (keeping the first
+  // occurrence's weight) and self-loops. Returns the number of edges removed.
+  size_t SortAndDeduplicate();
+
+  // True if an edge (src, dst) exists (requires sorted edges; linear scan
+  // fallback otherwise is not provided — callers sort first).
+  bool HasEdgeSorted(VertexId src, VertexId dst) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_EDGE_LIST_H_

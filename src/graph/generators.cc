@@ -1,0 +1,166 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace graphbolt {
+
+namespace {
+
+// Smallest power of two >= n.
+uint64_t NextPow2(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+EdgeList GenerateRmat(VertexId num_vertices, EdgeIndex num_edges, const RmatOptions& options) {
+  GB_CHECK(num_vertices >= 2) << "R-MAT needs at least 2 vertices";
+  GB_CHECK(options.a + options.b + options.c <= 1.0) << "R-MAT probabilities exceed 1";
+  const uint64_t scale_n = NextPow2(num_vertices);
+  const int levels = static_cast<int>(std::log2(static_cast<double>(scale_n)));
+  Rng rng(options.seed);
+
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  list.edges().reserve(num_edges + num_edges / 8);
+
+  // Sample in rounds: deduplication and range truncation discard a fraction
+  // of samples, so keep topping up until the target is met (power-law graphs
+  // concentrate collisions on hubs).
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (int round = 0; round < 12 && list.num_edges() < num_edges; ++round) {
+    const EdgeIndex missing = num_edges - list.num_edges();
+    const EdgeIndex samples = missing + missing / 4 + 64;
+    for (EdgeIndex i = 0; i < samples; ++i) {
+      uint64_t row = 0;
+      uint64_t col = 0;
+      for (int level = 0; level < levels; ++level) {
+        const double p = rng.NextDouble();
+        if (p < options.a) {
+          // top-left quadrant: nothing to add
+        } else if (p < ab) {
+          col |= 1ULL << level;
+        } else if (p < abc) {
+          row |= 1ULL << level;
+        } else {
+          row |= 1ULL << level;
+          col |= 1ULL << level;
+        }
+      }
+      if (row >= num_vertices || col >= num_vertices || row == col) {
+        continue;
+      }
+      const Weight w = options.assign_random_weights
+                           ? static_cast<Weight>(rng.NextDouble() * 0.999 + 0.001)
+                           : kDefaultWeight;
+      list.edges().push_back({static_cast<VertexId>(row), static_cast<VertexId>(col), w});
+    }
+    list.SortAndDeduplicate();
+  }
+  if (list.num_edges() > num_edges) {
+    list.edges().resize(num_edges);
+  }
+  return list;
+}
+
+EdgeList GenerateErdosRenyi(VertexId num_vertices, EdgeIndex num_edges, uint64_t seed,
+                            bool assign_random_weights) {
+  GB_CHECK(num_vertices >= 2) << "need at least 2 vertices";
+  const EdgeIndex max_possible =
+      static_cast<EdgeIndex>(num_vertices) * (num_vertices - 1);
+  GB_CHECK(num_edges <= max_possible) << "too many edges requested";
+  Rng rng(seed);
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  while (list.num_edges() < num_edges) {
+    const EdgeIndex need = num_edges - list.num_edges();
+    for (EdgeIndex i = 0; i < need + need / 4 + 8; ++i) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(num_vertices));
+      const auto dst = static_cast<VertexId>(rng.NextBounded(num_vertices));
+      if (src == dst) {
+        continue;
+      }
+      const Weight w = assign_random_weights
+                           ? static_cast<Weight>(rng.NextDouble() * 0.999 + 0.001)
+                           : kDefaultWeight;
+      list.edges().push_back({src, dst, w});
+    }
+    list.SortAndDeduplicate();
+    if (list.num_edges() > num_edges) {
+      list.edges().resize(num_edges);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateCycle(VertexId num_vertices) {
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) {
+    list.edges().push_back({v, v + 1, kDefaultWeight});
+  }
+  if (num_vertices > 1) {
+    list.edges().push_back({num_vertices - 1, 0, kDefaultWeight});
+  }
+  return list;
+}
+
+EdgeList GenerateChain(VertexId num_vertices) {
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) {
+    list.edges().push_back({v, v + 1, kDefaultWeight});
+  }
+  return list;
+}
+
+EdgeList GenerateStar(VertexId num_vertices) {
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    list.edges().push_back({0, v, kDefaultWeight});
+    list.edges().push_back({v, 0, kDefaultWeight});
+  }
+  return list;
+}
+
+EdgeList GenerateComplete(VertexId num_vertices) {
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (u != v) {
+        list.edges().push_back({u, v, kDefaultWeight});
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateGrid(VertexId rows, VertexId cols) {
+  EdgeList list;
+  list.set_num_vertices(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        list.edges().push_back({id(r, c), id(r, c + 1), kDefaultWeight});
+      }
+      if (r + 1 < rows) {
+        list.edges().push_back({id(r, c), id(r + 1, c), kDefaultWeight});
+      }
+    }
+  }
+  return list;
+}
+
+}  // namespace graphbolt

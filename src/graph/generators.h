@@ -1,0 +1,53 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on skewed real-world graphs (Wiki, Twitter, ...).
+// Those datasets are not available offline, so the benchmark harnesses use
+// R-MAT graphs — the standard surrogate with the same power-law degree
+// skew — plus simple topologies for unit tests.
+#ifndef SRC_GRAPH_GENERATORS_H_
+#define SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace graphbolt {
+
+// R-MAT parameters. The classic (0.57, 0.19, 0.19) setting yields a skew
+// close to social-network graphs.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 1;
+  bool assign_random_weights = false;  // weights in (0, 1]; default weight 1
+};
+
+// Generates a directed R-MAT graph with `num_vertices` (rounded up to a
+// power of two internally, then truncated) and approximately `num_edges`
+// edges after deduplication and self-loop removal.
+EdgeList GenerateRmat(VertexId num_vertices, EdgeIndex num_edges,
+                      const RmatOptions& options = {});
+
+// G(n, m) Erdős–Rényi digraph: m distinct uniform random edges.
+EdgeList GenerateErdosRenyi(VertexId num_vertices, EdgeIndex num_edges, uint64_t seed = 1,
+                            bool assign_random_weights = false);
+
+// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+EdgeList GenerateCycle(VertexId num_vertices);
+
+// Directed chain 0 -> 1 -> ... -> n-1.
+EdgeList GenerateChain(VertexId num_vertices);
+
+// Star: hub 0 with edges 0 -> i and i -> 0 for i in [1, n).
+EdgeList GenerateStar(VertexId num_vertices);
+
+// Complete digraph on n vertices (no self loops). Quadratic; test-scale only.
+EdgeList GenerateComplete(VertexId num_vertices);
+
+// 2D grid (rows x cols) with edges to the right and down neighbors.
+EdgeList GenerateGrid(VertexId rows, VertexId cols);
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,114 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x47424f4c54453031ULL;  // "GBOLTE01"
+}
+
+EdgeList LoadEdgeListText(const std::string& path, bool* ok) {
+  EdgeList list;
+  std::ifstream in(path);
+  if (!in) {
+    GB_LOG(kError) << "cannot open " << path;
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    return list;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream fields(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    double weight = kDefaultWeight;
+    if (!(fields >> src >> dst)) {
+      continue;  // malformed line: skip
+    }
+    fields >> weight;  // optional
+    list.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+             static_cast<Weight>(weight));
+  }
+  if (ok != nullptr) {
+    *ok = true;
+  }
+  return list;
+}
+
+bool SaveEdgeListText(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    GB_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << "# graphbolt edge list: " << list.num_vertices() << " vertices, "
+      << list.num_edges() << " edges\n";
+  for (const Edge& e : list.edges()) {
+    out << e.src << " " << e.dst << " " << e.weight << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveEdgeListBinary(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    GB_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  const uint64_t magic = kBinaryMagic;
+  const uint64_t num_vertices = list.num_vertices();
+  const uint64_t num_edges = list.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&num_vertices), sizeof(num_vertices));
+  out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  out.write(reinterpret_cast<const char*>(list.edges().data()),
+            static_cast<std::streamsize>(num_edges * sizeof(Edge)));
+  return static_cast<bool>(out);
+}
+
+EdgeList LoadEdgeListBinary(const std::string& path, bool* ok) {
+  EdgeList list;
+  std::ifstream in(path, std::ios::binary);
+  if (ok != nullptr) {
+    *ok = false;
+  }
+  if (!in) {
+    GB_LOG(kError) << "cannot open " << path;
+    return list;
+  }
+  uint64_t magic = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&num_vertices), sizeof(num_vertices));
+  in.read(reinterpret_cast<char*>(&num_edges), sizeof(num_edges));
+  if (!in || magic != kBinaryMagic) {
+    GB_LOG(kError) << path << " is not a graphbolt binary edge list";
+    return list;
+  }
+  list.set_num_vertices(static_cast<VertexId>(num_vertices));
+  list.edges().resize(num_edges);
+  in.read(reinterpret_cast<char*>(list.edges().data()),
+          static_cast<std::streamsize>(num_edges * sizeof(Edge)));
+  if (!in) {
+    GB_LOG(kError) << path << " truncated";
+    list = EdgeList();
+    return list;
+  }
+  if (ok != nullptr) {
+    *ok = true;
+  }
+  return list;
+}
+
+}  // namespace graphbolt

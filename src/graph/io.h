@@ -1,0 +1,26 @@
+// Graph file IO: whitespace-separated edge-list text ("src dst [weight]"
+// per line, '#' comments) and a compact binary snapshot format.
+#ifndef SRC_GRAPH_IO_H_
+#define SRC_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/edge_list.h"
+
+namespace graphbolt {
+
+// Loads a text edge list. Lines starting with '#' or '%' are comments.
+// Returns an empty list and logs on failure; `ok` (if non-null) reports
+// success.
+EdgeList LoadEdgeListText(const std::string& path, bool* ok = nullptr);
+
+// Writes "src dst weight" lines. Returns false on IO failure.
+bool SaveEdgeListText(const EdgeList& list, const std::string& path);
+
+// Binary snapshot: magic, counts, then packed edges. Round-trips exactly.
+bool SaveEdgeListBinary(const EdgeList& list, const std::string& path);
+EdgeList LoadEdgeListBinary(const std::string& path, bool* ok = nullptr);
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_IO_H_

@@ -1,0 +1,123 @@
+#include "src/graph/mutable_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+MutableGraph::MutableGraph(EdgeList edges) {
+  edges.SortAndDeduplicate();
+  out_ = Csr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/false);
+  in_ = Csr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/true);
+}
+
+VertexId MutableGraph::AddVertices(VertexId count) {
+  const VertexId first = num_vertices();
+  out_.GrowVertices(first + count);
+  in_.GrowVertices(first + count);
+  return first;
+}
+
+AppliedMutations MutableGraph::NormalizeBatch(const MutationBatch& batch) const {
+  AppliedMutations result;
+  // Normalize: last mutation per endpoint pair wins; self-loops dropped.
+  std::map<std::pair<VertexId, VertexId>, EdgeMutation> last;
+  for (const EdgeMutation& m : batch) {
+    if (m.src == m.dst) {
+      continue;
+    }
+    last[{m.src, m.dst}] = m;
+  }
+  const VertexId n = num_vertices();
+  for (const auto& [endpoints, m] : last) {
+    const auto [src, dst] = endpoints;
+    const bool exists = src < n && dst < n && out_.HasEdge(src, dst);
+    switch (m.kind) {
+      case MutationKind::kAddEdge:
+        if (!exists) {
+          result.added.push_back({src, dst, m.weight});
+        }
+        break;
+      case MutationKind::kDeleteEdge:
+        if (exists) {
+          result.deleted.push_back({src, dst, out_.EdgeWeight(src, dst)});
+        }
+        break;
+      case MutationKind::kUpdateWeight:
+        // Lowered to delete(old weight) + add(new weight) so engines can
+        // retract the old contribution exactly.
+        if (exists) {
+          const Weight old_weight = out_.EdgeWeight(src, dst);
+          if (old_weight != m.weight) {
+            result.deleted.push_back({src, dst, old_weight});
+            result.added.push_back({src, dst, m.weight});
+          }
+        }
+        break;
+    }
+  }
+  return result;
+}
+
+AppliedMutations MutableGraph::ApplyBatch(const MutationBatch& batch) {
+  AppliedMutations result;
+  if (batch.empty()) {
+    return result;
+  }
+
+  // Grow the vertex set to cover every referenced endpoint.
+  VertexId max_vertex = 0;
+  for (const EdgeMutation& m : batch) {
+    max_vertex = std::max({max_vertex, m.src, m.dst});
+  }
+  if (max_vertex >= num_vertices()) {
+    AddVertices(max_vertex + 1 - num_vertices());
+  }
+
+  result = NormalizeBatch(batch);
+
+  const VertexId n = num_vertices();
+  std::vector<std::vector<VertexId>> out_deletes(n);
+  std::vector<std::vector<std::pair<VertexId, Weight>>> out_adds(n);
+  std::vector<std::vector<VertexId>> in_deletes(n);
+  std::vector<std::vector<std::pair<VertexId, Weight>>> in_adds(n);
+
+  for (const Edge& e : result.added) {
+    out_adds[e.src].push_back({e.dst, e.weight});
+    in_adds[e.dst].push_back({e.src, e.weight});
+  }
+  for (const Edge& e : result.deleted) {
+    out_deletes[e.src].push_back(e.dst);
+    in_deletes[e.dst].push_back(e.src);
+  }
+
+  // std::map iteration gives (src, dst) order so out_* lists are already
+  // sorted by target; in_* need a sort per touched vertex.
+  for (auto& v : in_deletes) {
+    std::sort(v.begin(), v.end());
+  }
+  for (auto& v : in_adds) {
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  out_.ApplyEdits(out_deletes, out_adds);
+  in_.ApplyEdits(in_deletes, in_adds);
+  return result;
+}
+
+EdgeList MutableGraph::ToEdgeList() const {
+  EdgeList list;
+  list.set_num_vertices(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto nbrs = out_.Neighbors(v);
+    const auto wts = out_.Weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      list.edges().push_back({v, nbrs[i], wts[i]});
+    }
+  }
+  return list;
+}
+
+}  // namespace graphbolt

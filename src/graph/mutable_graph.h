@@ -1,0 +1,71 @@
+// The streaming graph of §4.1: dual CSR/CSC with batched two-pass mutation.
+//
+// Out-edges live in a CSR and in-edges in a CSC so engines can push (sparse
+// frontiers) or pull (dense iterations / non-decomposable re-evaluation).
+// Mutation batches are normalized (dedup, drop no-ops) and applied to both
+// views atomically; the normalized (Ea, Ed) result feeds refinement.
+#ifndef SRC_GRAPH_MUTABLE_GRAPH_H_
+#define SRC_GRAPH_MUTABLE_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/edge_list.h"
+#include "src/graph/mutation.h"
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+class MutableGraph {
+ public:
+  MutableGraph() = default;
+
+  // Builds from an edge list (deduplicated internally).
+  explicit MutableGraph(EdgeList edges);
+
+  VertexId num_vertices() const { return out_.num_vertices(); }
+  EdgeIndex num_edges() const { return out_.num_edges(); }
+
+  const Csr& out() const { return out_; }
+  const Csr& in() const { return in_; }
+
+  size_t OutDegree(VertexId v) const { return out_.Degree(v); }
+  size_t InDegree(VertexId v) const { return in_.Degree(v); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const { return out_.Neighbors(v); }
+  std::span<const VertexId> InNeighbors(VertexId v) const { return in_.Neighbors(v); }
+  std::span<const Weight> OutWeights(VertexId v) const { return out_.Weights(v); }
+  std::span<const Weight> InWeights(VertexId v) const { return in_.Weights(v); }
+
+  bool HasEdge(VertexId src, VertexId dst) const { return out_.HasEdge(src, dst); }
+  Weight EdgeWeight(VertexId src, VertexId dst) const { return out_.EdgeWeight(src, dst); }
+
+  // Adds `count` isolated vertices; returns the id of the first new vertex.
+  VertexId AddVertices(VertexId count);
+
+  // Computes the normalized effect of `batch` against the current graph
+  // without applying it: duplicates collapsed (last mutation per endpoint
+  // pair wins), self-loops dropped, no-op additions of present edges and
+  // deletions of absent edges removed. Endpoints beyond the current vertex
+  // range are treated as isolated vertices.
+  AppliedMutations NormalizeBatch(const MutationBatch& batch) const;
+
+  // Applies a batch atomically to both CSR and CSC. Mutations that reference
+  // vertices >= num_vertices() grow the vertex set first. Returns the
+  // normalized effect (see NormalizeBatch).
+  AppliedMutations ApplyBatch(const MutationBatch& batch);
+
+  // Exports all edges (sorted by (src, dst)); used by tests and snapshots.
+  EdgeList ToEdgeList() const;
+
+  bool CheckInvariants() const { return out_.CheckInvariants() && in_.CheckInvariants() && out_.num_edges() == in_.num_edges(); }
+
+ private:
+  Csr out_;
+  Csr in_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_MUTABLE_GRAPH_H_

@@ -1,0 +1,53 @@
+// Edge/vertex mutations and mutation batches (the ∆G of the paper).
+#ifndef SRC_GRAPH_MUTATION_H_
+#define SRC_GRAPH_MUTATION_H_
+
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+enum class MutationKind : uint8_t {
+  kAddEdge,
+  kDeleteEdge,
+  // Changes the weight of an existing edge. Normalization lowers this to a
+  // paired delete(old weight) + add(new weight), which every engine already
+  // refines correctly; updating an absent edge is a no-op.
+  kUpdateWeight,
+};
+
+struct EdgeMutation {
+  MutationKind kind = MutationKind::kAddEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = kDefaultWeight;
+
+  static EdgeMutation Add(VertexId src, VertexId dst, Weight weight = kDefaultWeight) {
+    return {MutationKind::kAddEdge, src, dst, weight};
+  }
+  static EdgeMutation Delete(VertexId src, VertexId dst) {
+    return {MutationKind::kDeleteEdge, src, dst, kDefaultWeight};
+  }
+  static EdgeMutation UpdateWeight(VertexId src, VertexId dst, Weight weight) {
+    return {MutationKind::kUpdateWeight, src, dst, weight};
+  }
+};
+
+// A batch of mutations applied atomically between iterations (§2.1: updates
+// are batched while an iteration computes and incorporated before the next).
+using MutationBatch = std::vector<EdgeMutation>;
+
+// The normalized effect of applying a batch: duplicates collapsed, no-op
+// additions of existing edges and deletions of absent edges dropped. The
+// refinement engine consumes this (its Ea and Ed sets).
+struct AppliedMutations {
+  std::vector<Edge> added;
+  std::vector<Edge> deleted;
+
+  bool Empty() const { return added.empty() && deleted.empty(); }
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_MUTATION_H_

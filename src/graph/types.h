@@ -1,0 +1,43 @@
+// Fundamental graph types shared across the library.
+#ifndef SRC_GRAPH_TYPES_H_
+#define SRC_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace graphbolt {
+
+// Vertex identifiers are dense [0, V) indices. 32 bits cover the laptop-
+// scale graphs this reproduction targets; edge offsets use 64 bits so edge
+// counts are not capped.
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+using Weight = float;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr Weight kDefaultWeight = 1.0f;
+
+// A directed edge with an optional weight.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = kDefaultWeight;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+// Orders by (src, dst); weight is a payload, not part of edge identity.
+struct EdgeEndpointLess {
+  bool operator()(const Edge& a, const Edge& b) const {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  }
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_GRAPH_TYPES_H_

@@ -1,0 +1,41 @@
+// Umbrella header: the public API of the GraphBolt library.
+//
+// Typical usage:
+//
+//   #include "src/graphbolt.h"
+//
+//   graphbolt::MutableGraph graph(graphbolt::GenerateRmat(100'000, 1'000'000));
+//   graphbolt::GraphBoltEngine<graphbolt::PageRank> engine(&graph, graphbolt::PageRank{});
+//   engine.InitialCompute();
+//   engine.ApplyMutations({graphbolt::EdgeMutation::Add(1, 2)});
+//   const auto& ranks = engine.values();
+#ifndef SRC_GRAPHBOLT_H_
+#define SRC_GRAPHBOLT_H_
+
+#include "src/algorithms/belief_propagation.h"
+#include "src/algorithms/coem.h"
+#include "src/algorithms/collaborative_filtering.h"
+#include "src/algorithms/connected_components.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/multi_source_reach.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/personalized_pagerank.h"
+#include "src/algorithms/sssp.h"
+#include "src/algorithms/triangle_counting.h"
+#include "src/algorithms/widest_path.h"
+#include "src/core/algorithm.h"
+#include "src/core/compact_dependency_store.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/edge_map.h"
+#include "src/engine/ligra_engine.h"
+#include "src/engine/reset_engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+#include "src/kickstarter/kickstarter.h"
+#include "src/kickstarter/kickstarter_engine.h"
+#include "src/minidd/dataflow.h"
+#include "src/stream/update_stream.h"
+
+#endif  // SRC_GRAPHBOLT_H_

@@ -1,0 +1,147 @@
+#include "src/kickstarter/kickstarter.h"
+
+#include <algorithm>
+
+#include "src/algorithms/sssp.h"  // kUnreachable
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+KickStarterSssp::KickStarterSssp(MutableGraph* graph, VertexId source, bool use_weights)
+    : graph_(graph), source_(source), use_weights_(use_weights) {}
+
+double KickStarterSssp::EdgeLength(VertexId u, size_t slot) const {
+  return use_weights_ ? static_cast<double>(graph_->OutWeights(u)[slot]) : 1.0;
+}
+
+void KickStarterSssp::InitialCompute() {
+  Timer timer;
+  stats_.Clear();
+  const VertexId n = graph_->num_vertices();
+  dist_.assign(n, kUnreachable);
+  parent_.assign(n, kInvalidVertex);
+  GB_CHECK(source_ < n) << "source out of range";
+  dist_[source_] = 0.0;
+  Propagate({source_});
+  stats_.seconds = timer.Seconds();
+}
+
+void KickStarterSssp::Propagate(std::vector<VertexId> worklist) {
+  std::vector<VertexId> next;
+  uint64_t edges = 0;
+  while (!worklist.empty()) {
+    next.clear();
+    for (const VertexId u : worklist) {
+      const auto out_nbrs = graph_->OutNeighbors(u);
+      edges += out_nbrs.size();
+      for (size_t e = 0; e < out_nbrs.size(); ++e) {
+        const VertexId v = out_nbrs[e];
+        const double candidate = dist_[u] + EdgeLength(u, e);
+        if (candidate < dist_[v]) {
+          dist_[v] = candidate;
+          parent_[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    worklist.swap(next);
+    ++stats_.iterations;
+  }
+  stats_.edges_processed += edges;
+}
+
+AppliedMutations KickStarterSssp::ApplyMutations(const MutationBatch& batch) {
+  stats_.Clear();
+  Timer mutation_timer;
+  AppliedMutations applied = graph_->ApplyBatch(batch);
+  stats_.mutation_seconds = mutation_timer.Seconds();
+
+  Timer timer;
+  const VertexId n = graph_->num_vertices();
+  dist_.resize(n, kUnreachable);
+  parent_.resize(n, kInvalidVertex);
+
+  // 1. Identify vertices whose dependence-tree parent edge was deleted.
+  std::vector<uint8_t> affected(n, 0);
+  std::vector<VertexId> seeds;
+  for (const Edge& e : applied.deleted) {
+    if (parent_[e.dst] == e.src) {
+      affected[e.dst] = 1;
+      seeds.push_back(e.dst);
+    }
+  }
+
+  // 2. Grow the affected set down the dependence tree (children inherit the
+  // invalidation). Child lists are materialized from the parent array.
+  if (!seeds.empty()) {
+    std::vector<std::vector<VertexId>> children(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (parent_[v] != kInvalidVertex) {
+        children[parent_[v]].push_back(v);
+      }
+    }
+    std::vector<VertexId> frontier = seeds;
+    while (!frontier.empty()) {
+      std::vector<VertexId> next;
+      for (const VertexId a : frontier) {
+        for (const VertexId c : children[a]) {
+          if (!affected[c]) {
+            affected[c] = 1;
+            seeds.push_back(c);
+            next.push_back(c);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+
+  // 3. Trim: reset each affected vertex to the best value obtainable from
+  // *unaffected* in-neighbors — a safe over-approximation of the truth.
+  std::vector<VertexId> worklist;
+  uint64_t edges = 0;
+  for (const VertexId a : seeds) {
+    dist_[a] = a == source_ ? 0.0 : kUnreachable;
+    parent_[a] = kInvalidVertex;
+  }
+  for (const VertexId a : seeds) {
+    const auto in_nbrs = graph_->InNeighbors(a);
+    const auto in_wts = graph_->InWeights(a);
+    edges += in_nbrs.size();
+    for (size_t e = 0; e < in_nbrs.size(); ++e) {
+      const VertexId u = in_nbrs[e];
+      if (affected[u]) {
+        continue;
+      }
+      const double len = use_weights_ ? static_cast<double>(in_wts[e]) : 1.0;
+      if (dist_[u] + len < dist_[a]) {
+        dist_[a] = dist_[u] + len;
+        parent_[a] = u;
+      }
+    }
+    if (dist_[a] < kUnreachable) {
+      worklist.push_back(a);
+    }
+  }
+  stats_.edges_processed += edges;
+
+  // 4. Edge additions relax directly.
+  for (const Edge& e : applied.added) {
+    const double len = use_weights_ ? static_cast<double>(e.weight) : 1.0;
+    if (dist_[e.src] + len < dist_[e.dst]) {
+      dist_[e.dst] = dist_[e.src] + len;
+      parent_[e.dst] = e.src;
+      worklist.push_back(e.dst);
+    }
+  }
+
+  // 5. Monotonic correction until fixpoint.
+  std::sort(worklist.begin(), worklist.end());
+  worklist.erase(std::unique(worklist.begin(), worklist.end()), worklist.end());
+  Propagate(std::move(worklist));
+  stats_.seconds = timer.Seconds();
+  return applied;
+}
+
+}  // namespace graphbolt

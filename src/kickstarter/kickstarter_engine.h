@@ -1,0 +1,245 @@
+// Generalized KickStarter: the dependence-tree incremental technique of
+// Vora et al. (ASPLOS'17) templated over any monotonic path algorithm.
+//
+// A monotonic path algorithm is described by a traits type:
+//
+//   struct SsspTraits {
+//     using Value = double;
+//     Value InitialValue(VertexId v) const;        // source seed / worst
+//     Value Worst() const;                          // the no-path value
+//     bool Better(Value a, Value b) const;          // strict improvement
+//     Value Relax(Value u, Weight w) const;         // candidate via (u,v)
+//   };
+//
+// Each vertex remembers the in-neighbor its value came from (its parent in
+// the dependence tree). Additions relax; a deletion (or a worsening weight
+// update) of a tree edge invalidates the subtree hanging off it, whose
+// vertices are trimmed to safe approximations pulled from unaffected
+// in-neighbors and then corrected by monotonic propagation. No per-
+// iteration history is kept and no BSP guarantee is given — the asynchrony
+// monotonic algorithms tolerate is the whole trick (§5.4B of GraphBolt).
+#ifndef SRC_KICKSTARTER_KICKSTARTER_ENGINE_H_
+#define SRC_KICKSTARTER_KICKSTARTER_ENGINE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/engine/stats.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+#include "src/graph/types.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+template <typename Traits>
+class KickStarterEngine {
+ public:
+  using Value = typename Traits::Value;
+
+  KickStarterEngine(MutableGraph* graph, Traits traits)
+      : graph_(graph), traits_(std::move(traits)) {}
+
+  // Full computation from scratch (builds the dependence tree).
+  void InitialCompute() {
+    Timer timer;
+    stats_.Clear();
+    const VertexId n = graph_->num_vertices();
+    values_.assign(n, traits_.Worst());
+    parent_.assign(n, kInvalidVertex);
+    std::vector<VertexId> seeds;
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = traits_.InitialValue(v);
+      if (traits_.Better(values_[v], traits_.Worst())) {
+        seeds.push_back(v);
+      }
+    }
+    Propagate(std::move(seeds));
+    stats_.seconds = timer.Seconds();
+  }
+
+  // Applies the batch and incrementally corrects values.
+  AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    stats_.Clear();
+    Timer mutation_timer;
+    AppliedMutations applied = graph_->ApplyBatch(batch);
+    stats_.mutation_seconds = mutation_timer.Seconds();
+
+    Timer timer;
+    const VertexId n = graph_->num_vertices();
+    const auto old_n = static_cast<VertexId>(values_.size());
+    values_.resize(n, traits_.Worst());
+    parent_.resize(n, kInvalidVertex);
+    for (VertexId v = old_n; v < n; ++v) {
+      values_[v] = traits_.InitialValue(v);
+    }
+
+    // 1. Deleted tree edges invalidate their destination's value.
+    std::vector<uint8_t> affected(n, 0);
+    std::vector<VertexId> seeds;
+    for (const Edge& e : applied.deleted) {
+      if (parent_[e.dst] == e.src && !affected[e.dst]) {
+        affected[e.dst] = 1;
+        seeds.push_back(e.dst);
+      }
+    }
+
+    // 2. The invalidation propagates down the dependence tree.
+    if (!seeds.empty()) {
+      std::vector<std::vector<VertexId>> children(n);
+      for (VertexId v = 0; v < n; ++v) {
+        if (parent_[v] != kInvalidVertex) {
+          children[parent_[v]].push_back(v);
+        }
+      }
+      std::vector<VertexId> frontier = seeds;
+      while (!frontier.empty()) {
+        std::vector<VertexId> next;
+        for (const VertexId a : frontier) {
+          for (const VertexId c : children[a]) {
+            if (!affected[c]) {
+              affected[c] = 1;
+              seeds.push_back(c);
+              next.push_back(c);
+            }
+          }
+        }
+        frontier.swap(next);
+      }
+    }
+
+    // 3. Trim affected vertices to the best value obtainable from
+    // unaffected in-neighbors — a safe approximation the monotonic
+    // propagation then improves.
+    std::vector<VertexId> worklist;
+    uint64_t edges = 0;
+    for (const VertexId a : seeds) {
+      values_[a] = traits_.InitialValue(a);
+      parent_[a] = kInvalidVertex;
+    }
+    for (const VertexId a : seeds) {
+      const auto in_nbrs = graph_->InNeighbors(a);
+      const auto in_wts = graph_->InWeights(a);
+      edges += in_nbrs.size();
+      for (size_t e = 0; e < in_nbrs.size(); ++e) {
+        const VertexId u = in_nbrs[e];
+        if (affected[u]) {
+          continue;
+        }
+        const Value candidate = traits_.Relax(values_[u], in_wts[e]);
+        if (traits_.Better(candidate, values_[a])) {
+          values_[a] = candidate;
+          parent_[a] = u;
+        }
+      }
+      if (traits_.Better(values_[a], traits_.Worst())) {
+        worklist.push_back(a);  // any valid value (own seed or pulled) re-propagates
+      }
+    }
+    stats_.edges_processed += edges;
+
+    // 4. Additions (and improved weights) relax directly.
+    for (const Edge& e : applied.added) {
+      const Value candidate = traits_.Relax(values_[e.src], e.weight);
+      if (traits_.Better(candidate, values_[e.dst])) {
+        values_[e.dst] = candidate;
+        parent_[e.dst] = e.src;
+        worklist.push_back(e.dst);
+      }
+    }
+    // Seeds whose value was invalidated but found no unaffected neighbor
+    // may still be reached from other corrected vertices; trimmed seeds
+    // with a valid approximation propagate from step 3's worklist.
+    std::sort(worklist.begin(), worklist.end());
+    worklist.erase(std::unique(worklist.begin(), worklist.end()), worklist.end());
+    Propagate(std::move(worklist));
+    stats_.seconds = timer.Seconds();
+    return applied;
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+  const std::vector<VertexId>& parents() const { return parent_; }
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  // Monotonic relaxation from a seed worklist until fixpoint.
+  void Propagate(std::vector<VertexId> worklist) {
+    std::vector<VertexId> next;
+    uint64_t edges = 0;
+    while (!worklist.empty()) {
+      next.clear();
+      for (const VertexId u : worklist) {
+        const auto out_nbrs = graph_->OutNeighbors(u);
+        const auto out_wts = graph_->OutWeights(u);
+        edges += out_nbrs.size();
+        for (size_t e = 0; e < out_nbrs.size(); ++e) {
+          const VertexId v = out_nbrs[e];
+          const Value candidate = traits_.Relax(values_[u], out_wts[e]);
+          if (traits_.Better(candidate, values_[v])) {
+            values_[v] = candidate;
+            parent_[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+      worklist.swap(next);
+      ++stats_.iterations;
+    }
+    stats_.edges_processed += edges;
+  }
+
+  MutableGraph* graph_;
+  Traits traits_;
+  std::vector<Value> values_;
+  std::vector<VertexId> parent_;
+  EngineStats stats_;
+};
+
+// ----- Trait instances -------------------------------------------------------
+
+// Shortest paths (weighted) / BFS (unit weights).
+class KsSsspTraits {
+ public:
+  using Value = double;
+  explicit KsSsspTraits(VertexId source, bool use_weights = true)
+      : source_(source), use_weights_(use_weights) {}
+  Value InitialValue(VertexId v) const { return v == source_ ? 0.0 : Worst(); }
+  Value Worst() const { return 1e30; }
+  bool Better(Value a, Value b) const { return a < b; }
+  Value Relax(Value u, Weight w) const {
+    return u >= Worst() ? Worst() : u + (use_weights_ ? static_cast<double>(w) : 1.0);
+  }
+
+ private:
+  VertexId source_;
+  bool use_weights_;
+};
+
+// Connected components by minimum reaching label.
+class KsComponentsTraits {
+ public:
+  using Value = double;
+  Value InitialValue(VertexId v) const { return static_cast<Value>(v); }
+  Value Worst() const { return 1e30; }
+  bool Better(Value a, Value b) const { return a < b; }
+  Value Relax(Value u, Weight /*w*/) const { return u; }
+};
+
+// Widest (maximum bottleneck) path.
+class KsWidestPathTraits {
+ public:
+  using Value = double;
+  explicit KsWidestPathTraits(VertexId source) : source_(source) {}
+  Value InitialValue(VertexId v) const { return v == source_ ? 1e30 : Worst(); }
+  Value Worst() const { return 0.0; }
+  bool Better(Value a, Value b) const { return a > b; }
+  Value Relax(Value u, Weight w) const { return std::min(u, static_cast<Value>(w)); }
+
+ private:
+  VertexId source_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_KICKSTARTER_KICKSTARTER_ENGINE_H_

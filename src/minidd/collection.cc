@@ -1,0 +1,90 @@
+#include "src/minidd/collection.h"
+
+#include <algorithm>
+
+namespace graphbolt {
+
+namespace {
+const std::vector<std::pair<VertexId, Weight>>& EmptyTuples() {
+  static const std::vector<std::pair<VertexId, Weight>> empty;
+  return empty;
+}
+}  // namespace
+
+EdgeArrangement::EdgeArrangement(const EdgeList& edges) {
+  for (const Edge& e : edges.edges()) {
+    by_src_[e.src].emplace_back(e.dst, e.weight);
+    by_dst_[e.dst].emplace_back(e.src, e.weight);
+    max_vertex_ = std::max({max_vertex_, e.src, e.dst});
+    ++num_tuples_;
+  }
+  if (edges.num_vertices() > 0) {
+    max_vertex_ = std::max(max_vertex_, edges.num_vertices() - 1);
+  }
+}
+
+std::vector<VertexId> EdgeArrangement::ApplyDiffs(const std::vector<EdgeDiff>& diffs) {
+  std::vector<VertexId> touched_keys;
+  for (const EdgeDiff& diff : diffs) {
+    const Edge& e = diff.record;
+    max_vertex_ = std::max({max_vertex_, e.src, e.dst});
+    if (diff.multiplicity > 0) {
+      // Insert unless already present (the graph is simple).
+      auto& out = by_src_[e.src];
+      const bool present = std::any_of(out.begin(), out.end(),
+                                       [&e](const auto& t) { return t.first == e.dst; });
+      if (present) {
+        continue;
+      }
+      out.emplace_back(e.dst, e.weight);
+      by_dst_[e.dst].emplace_back(e.src, e.weight);
+      ++num_tuples_;
+    } else {
+      auto& out = by_src_[e.src];
+      auto it = std::find_if(out.begin(), out.end(),
+                             [&e](const auto& t) { return t.first == e.dst; });
+      if (it == out.end()) {
+        continue;
+      }
+      out.erase(it);
+      auto& in = by_dst_[e.dst];
+      auto jt = std::find_if(in.begin(), in.end(),
+                             [&e](const auto& t) { return t.first == e.src; });
+      in.erase(jt);
+      --num_tuples_;
+    }
+    touched_keys.push_back(e.src);
+    touched_keys.push_back(e.dst);
+  }
+  std::sort(touched_keys.begin(), touched_keys.end());
+  touched_keys.erase(std::unique(touched_keys.begin(), touched_keys.end()), touched_keys.end());
+  return touched_keys;
+}
+
+const std::vector<std::pair<VertexId, Weight>>& EdgeArrangement::OutTuples(VertexId src) const {
+  auto it = by_src_.find(src);
+  return it == by_src_.end() ? EmptyTuples() : it->second;
+}
+
+const std::vector<std::pair<VertexId, Weight>>& EdgeArrangement::InTuples(VertexId dst) const {
+  auto it = by_dst_.find(dst);
+  return it == by_dst_.end() ? EmptyTuples() : it->second;
+}
+
+std::vector<EdgeDiff> ToDiffs(const MutationBatch& batch) {
+  std::vector<EdgeDiff> diffs;
+  diffs.reserve(batch.size());
+  for (const EdgeMutation& m : batch) {
+    const Edge record{m.src, m.dst, m.weight};
+    if (m.kind == MutationKind::kUpdateWeight) {
+      // Weight update = retract old tuple, insert new one.
+      diffs.push_back({record, -1});
+      diffs.push_back({record, +1});
+      continue;
+    }
+    diffs.push_back({record, m.kind == MutationKind::kAddEdge ? 1 : -1});
+  }
+  return diffs;
+}
+
+}  // namespace graphbolt

@@ -1,0 +1,70 @@
+// Mini differential-dataflow substrate (§5.4A comparator).
+//
+// Differential Dataflow represents data as keyed multiset collections whose
+// evolution is described by diffs, and computes by joining/grouping those
+// collections through *generic* operators over hashed arrangements. This
+// module provides the corresponding pieces at small scale:
+//
+//   - Diff<Record>: a record with a +/- multiplicity.
+//   - EdgeArrangement: the edge collection arranged (indexed) by src and by
+//     dst, updated by diffs.
+//
+// What makes this a faithful stand-in for the paper's comparison is the
+// *cost profile*, not feature completeness: per-tuple hashing, per-level
+// hashed state arrangements, and graph-unaware operators — exactly the
+// generality overhead §5.4A attributes Differential Dataflow's slowdown to.
+#ifndef SRC_MINIDD_COLLECTION_H_
+#define SRC_MINIDD_COLLECTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/mutation.h"
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+// A change to a multiset: +1 inserts the record, -1 removes one occurrence.
+template <typename Record>
+struct Diff {
+  Record record;
+  int32_t multiplicity = 1;
+};
+
+using EdgeDiff = Diff<Edge>;
+
+// The edge collection arranged by both endpoints. Adjacency is held in
+// hashed per-key tuple vectors (not CSR) — the representation a generic
+// dataflow system would build.
+class EdgeArrangement {
+ public:
+  EdgeArrangement() = default;
+  explicit EdgeArrangement(const EdgeList& edges);
+
+  // Applies a batch of edge diffs. Returns the keys (src and dst vertices)
+  // whose arranged tuples changed.
+  std::vector<VertexId> ApplyDiffs(const std::vector<EdgeDiff>& diffs);
+
+  const std::vector<std::pair<VertexId, Weight>>& OutTuples(VertexId src) const;
+  const std::vector<std::pair<VertexId, Weight>>& InTuples(VertexId dst) const;
+
+  size_t OutDegree(VertexId src) const { return OutTuples(src).size(); }
+
+  size_t num_tuples() const { return num_tuples_; }
+  VertexId max_vertex() const { return max_vertex_; }
+
+ private:
+  std::unordered_map<VertexId, std::vector<std::pair<VertexId, Weight>>> by_src_;
+  std::unordered_map<VertexId, std::vector<std::pair<VertexId, Weight>>> by_dst_;
+  size_t num_tuples_ = 0;
+  VertexId max_vertex_ = 0;
+};
+
+// Converts mutation batches into edge diffs (the input-stream encoding).
+std::vector<EdgeDiff> ToDiffs(const MutationBatch& batch);
+
+}  // namespace graphbolt
+
+#endif  // SRC_MINIDD_COLLECTION_H_

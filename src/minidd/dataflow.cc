@@ -1,0 +1,211 @@
+#include "src/minidd/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/algorithms/sssp.h"  // kUnreachable
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+// ----- DdPageRank -----------------------------------------------------------
+
+DdPageRank::DdPageRank(const EdgeList& initial, uint32_t iterations, double damping,
+                       double tolerance)
+    : edges_(initial), iterations_(iterations), damping_(damping), tolerance_(tolerance) {}
+
+double DdPageRank::RankAt(uint32_t level, VertexId v) const {
+  const auto& arrangement = levels_[level];
+  auto it = arrangement.find(v);
+  if (it != arrangement.end()) {
+    return it->second;
+  }
+  // Absent keys take the level's default: the initial rank at level 0, the
+  // isolated-vertex rank afterwards.
+  return level == 0 ? 1.0 : 1.0 - damping_;
+}
+
+double DdPageRank::JoinAndReduce(uint32_t level, VertexId v, uint64_t* tuples) {
+  double sum = 0.0;
+  const auto& in_tuples = edges_.InTuples(v);
+  for (const auto& [u, w] : in_tuples) {
+    const size_t degree = edges_.OutDegree(u);
+    sum += RankAt(level - 1, u) / (degree > 0 ? static_cast<double>(degree) : 1.0);
+  }
+  *tuples += in_tuples.size();
+  return (1.0 - damping_) + damping_ * sum;
+}
+
+void DdPageRank::InitialCompute() {
+  Timer timer;
+  stats_.Clear();
+  const VertexId n = edges_.max_vertex() + 1;
+  levels_.assign(1, {});
+  levels_[0].reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    levels_[0].emplace(v, 1.0);
+  }
+  uint64_t tuples = 0;
+  for (uint32_t level = 1; level <= iterations_; ++level) {
+    levels_.emplace_back();
+    auto& cur = levels_.back();
+    cur.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      cur.emplace(v, JoinAndReduce(level, v, &tuples));
+    }
+    ++stats_.iterations;
+  }
+  stats_.edges_processed = tuples;
+  stats_.seconds = timer.Seconds();
+}
+
+void DdPageRank::ApplyUpdates(const MutationBatch& batch) {
+  Timer timer;
+  stats_.Clear();
+  const std::vector<VertexId> touched_keys = edges_.ApplyDiffs(ToDiffs(batch));
+
+  // Keys whose arranged tuples changed contribute differently at every
+  // level (their out-degree moved), like GraphBolt's context-changed set.
+  std::unordered_set<VertexId> persistent(touched_keys.begin(), touched_keys.end());
+  std::unordered_set<VertexId> changed = persistent;
+
+  uint64_t tuples = 0;
+  for (uint32_t level = 1; level <= iterations_; ++level) {
+    std::unordered_set<VertexId> affected;
+    for (const VertexId u : changed) {
+      for (const auto& [dst, w] : edges_.OutTuples(u)) {
+        affected.insert(dst);
+      }
+    }
+    for (const VertexId k : touched_keys) {
+      affected.insert(k);  // degree changes affect the key's own join inputs
+    }
+    std::unordered_set<VertexId> next = persistent;
+    for (const VertexId v : affected) {
+      const double fresh = JoinAndReduce(level, v, &tuples);
+      const double previous = RankAt(level, v);
+      if (std::fabs(fresh - previous) > tolerance_) {
+        next.insert(v);
+      }
+      levels_[level][v] = fresh;
+    }
+    changed = std::move(next);
+    ++stats_.iterations;
+  }
+  stats_.edges_processed = tuples;
+  stats_.seconds = timer.Seconds();
+}
+
+// ----- DdSssp ---------------------------------------------------------------
+
+DdSssp::DdSssp(const EdgeList& initial, VertexId source, uint32_t max_rounds)
+    : edges_(initial), source_(source), max_rounds_(max_rounds) {}
+
+double DdSssp::DistAt(uint32_t level, VertexId v) const {
+  if (v == source_) {
+    return 0.0;
+  }
+  if (level >= levels_.size()) {
+    level = static_cast<uint32_t>(levels_.size()) - 1;
+  }
+  const auto& arrangement = levels_[level];
+  auto it = arrangement.find(v);
+  return it == arrangement.end() ? kUnreachable : it->second;
+}
+
+double DdSssp::JoinAndReduce(uint32_t level, VertexId v, uint64_t* tuples) {
+  if (v == source_) {
+    return 0.0;
+  }
+  double best = kUnreachable;
+  const auto& in_tuples = edges_.InTuples(v);
+  for (const auto& [u, w] : in_tuples) {
+    const double base = DistAt(level - 1, u);
+    if (base < kUnreachable) {
+      best = std::min(best, base + w);
+    }
+  }
+  *tuples += in_tuples.size();
+  return best;
+}
+
+// Re-joins every vertex in `affected` at `level`; records changes and
+// returns the set of vertices whose value at this level moved.
+std::unordered_set<VertexId> DdSssp::ProcessLevel(uint32_t level,
+                                                  const std::unordered_set<VertexId>& affected,
+                                                  uint64_t* tuples) {
+  std::unordered_set<VertexId> changed;
+  for (const VertexId v : affected) {
+    const double fresh = JoinAndReduce(level, v, tuples);
+    const double previous = DistAt(level, v);
+    if (fresh != previous) {
+      levels_[level][v] = fresh;
+      changed.insert(v);
+    }
+  }
+  ++stats_.iterations;
+  return changed;
+}
+
+void DdSssp::InitialCompute() {
+  Timer timer;
+  stats_.Clear();
+  levels_.assign(1, {});
+  levels_[0].emplace(source_, 0.0);
+  uint64_t tuples = 0;
+  std::unordered_set<VertexId> changed{source_};
+  for (uint32_t round = 1; round <= max_rounds_ && !changed.empty(); ++round) {
+    levels_.push_back(levels_.back());
+    std::unordered_set<VertexId> affected;
+    for (const VertexId u : changed) {
+      for (const auto& [v, w] : edges_.OutTuples(u)) {
+        affected.insert(v);
+      }
+    }
+    changed = ProcessLevel(round, affected, &tuples);
+  }
+  stats_.edges_processed = tuples;
+  stats_.seconds = timer.Seconds();
+}
+
+void DdSssp::ApplyUpdates(const MutationBatch& batch) {
+  Timer timer;
+  stats_.Clear();
+  const std::vector<VertexId> touched_keys = edges_.ApplyDiffs(ToDiffs(batch));
+  const std::unordered_set<VertexId> direct(touched_keys.begin(), touched_keys.end());
+
+  uint64_t tuples = 0;
+  std::unordered_set<VertexId> changed;
+  // Pass 1: every stored level. Mutated-edge endpoints are re-joined at each
+  // level (their in-tuple sets changed); changed values propagate forward.
+  const uint32_t stored = static_cast<uint32_t>(levels_.size()) - 1;
+  for (uint32_t level = 1; level <= stored; ++level) {
+    std::unordered_set<VertexId> affected = direct;
+    for (const VertexId u : changed) {
+      for (const auto& [v, w] : edges_.OutTuples(u)) {
+        affected.insert(v);
+      }
+    }
+    changed = ProcessLevel(level, affected, &tuples);
+  }
+  // Pass 2: the new fixpoint may need more rounds than the old one.
+  for (uint32_t extra = 0; extra < max_rounds_ && !changed.empty(); ++extra) {
+    levels_.push_back(levels_.back());
+    std::unordered_set<VertexId> affected;
+    for (const VertexId u : changed) {
+      for (const auto& [v, w] : edges_.OutTuples(u)) {
+        affected.insert(v);
+      }
+    }
+    changed = ProcessLevel(static_cast<uint32_t>(levels_.size()) - 1, affected, &tuples);
+  }
+  // Drop converged duplicate tail levels.
+  while (levels_.size() > 2 && levels_[levels_.size() - 1] == levels_[levels_.size() - 2]) {
+    levels_.pop_back();
+  }
+  stats_.edges_processed = tuples;
+  stats_.seconds = timer.Seconds();
+}
+
+}  // namespace graphbolt

@@ -1,0 +1,85 @@
+// Incremental iterative dataflows over the minidd substrate (§5.4).
+//
+// Both computations follow the Differential Dataflow formulation the paper
+// describes: edge tuples are joined with per-iteration state arrangements,
+// grouped at destination keys, and the impact of input diffs is propagated
+// level by level through memoized per-iteration arrangements. All state
+// lives in hash maps keyed by vertex — the generic representation — so the
+// comparison against GraphBolt's dense graph-aware arrays is the one the
+// paper makes.
+#ifndef SRC_MINIDD_DATAFLOW_H_
+#define SRC_MINIDD_DATAFLOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/engine/stats.h"
+#include "src/minidd/collection.h"
+
+namespace graphbolt {
+
+// PageRank expressed as an incremental iterative dataflow with a fixed
+// iteration count.
+class DdPageRank {
+ public:
+  DdPageRank(const EdgeList& initial, uint32_t iterations, double damping = 0.85,
+             double tolerance = 1e-9);
+
+  // Full (non-incremental) evaluation of every iteration level.
+  void InitialCompute();
+
+  // Applies input diffs and incrementally updates every level.
+  void ApplyUpdates(const MutationBatch& batch);
+
+  // Final ranks (last iteration level).
+  const std::unordered_map<VertexId, double>& ranks() const { return levels_.back(); }
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  double RankAt(uint32_t level, VertexId v) const;
+
+  // Recomputes the rank of `v` at `level` by joining its in-tuples with the
+  // previous level's arrangement.
+  double JoinAndReduce(uint32_t level, VertexId v, uint64_t* tuples);
+
+  EdgeArrangement edges_;
+  uint32_t iterations_;
+  double damping_;
+  double tolerance_;
+  // levels_[i] = rank arrangement after iteration i (levels_[0] = initial).
+  std::vector<std::unordered_map<VertexId, double>> levels_;
+  EngineStats stats_;
+};
+
+// Single-source shortest paths as an incremental iterative dataflow run to
+// fixpoint (levels are Bellman–Ford rounds).
+class DdSssp {
+ public:
+  DdSssp(const EdgeList& initial, VertexId source, uint32_t max_rounds = 512);
+
+  void InitialCompute();
+  void ApplyUpdates(const MutationBatch& batch);
+
+  const std::unordered_map<VertexId, double>& distances() const { return levels_.back(); }
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  double DistAt(uint32_t level, VertexId v) const;
+  double JoinAndReduce(uint32_t level, VertexId v, uint64_t* tuples);
+  std::unordered_set<VertexId> ProcessLevel(uint32_t level,
+                                            const std::unordered_set<VertexId>& affected,
+                                            uint64_t* tuples);
+
+  EdgeArrangement edges_;
+  VertexId source_;
+  uint32_t max_rounds_;
+  std::vector<std::unordered_map<VertexId, double>> levels_;
+  EngineStats stats_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_MINIDD_DATAFLOW_H_

@@ -1,0 +1,94 @@
+// Atomic read-modify-write helpers for types the standard library does not
+// cover directly (floating-point add/multiply, generic min/max via CAS).
+//
+// All operations use relaxed ordering: the engines synchronize between BSP
+// iterations with barriers (thread-pool joins), so per-cell operations only
+// need atomicity, not ordering.
+#ifndef SRC_PARALLEL_ATOMICS_H_
+#define SRC_PARALLEL_ATOMICS_H_
+
+#include <atomic>
+#include <type_traits>
+
+namespace graphbolt {
+
+// Atomically `*target += delta` for any arithmetic type. Uses native
+// fetch_add for integers and a CAS loop for floating point.
+template <typename T>
+void AtomicAdd(T* target, T delta) {
+  static_assert(std::is_arithmetic_v<T>);
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  if constexpr (std::is_integral_v<T>) {
+    cell->fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    T observed = cell->load(std::memory_order_relaxed);
+    while (!cell->compare_exchange_weak(observed, observed + delta,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// Atomically `*target *= factor` (CAS loop). Belief Propagation's product
+// aggregation uses this together with AtomicDivide for retraction.
+template <typename T>
+void AtomicMultiply(T* target, T factor) {
+  static_assert(std::is_floating_point_v<T>);
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  T observed = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(observed, observed * factor,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// Atomically `*target /= divisor` (CAS loop).
+template <typename T>
+void AtomicDivide(T* target, T divisor) {
+  static_assert(std::is_floating_point_v<T>);
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  T observed = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(observed, observed / divisor,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// Atomically `*target = min(*target, candidate)`. Returns true if the
+// candidate became the new minimum (used to claim frontier insertion).
+template <typename T>
+bool AtomicMin(T* target, T candidate) {
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  T observed = cell->load(std::memory_order_relaxed);
+  while (candidate < observed) {
+    if (cell->compare_exchange_weak(observed, candidate,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomically `*target = max(*target, candidate)`. Returns true on update.
+template <typename T>
+bool AtomicMax(T* target, T candidate) {
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  T observed = cell->load(std::memory_order_relaxed);
+  while (observed < candidate) {
+    if (cell->compare_exchange_weak(observed, candidate,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Single compare-and-swap; returns true if `*target` was `expected` and is
+// now `desired`.
+template <typename T>
+bool AtomicCas(T* target, T expected, T desired) {
+  auto* cell = reinterpret_cast<std::atomic<T>*>(target);
+  return cell->compare_exchange_strong(expected, desired,
+                                       std::memory_order_relaxed);
+}
+
+}  // namespace graphbolt
+
+#endif  // SRC_PARALLEL_ATOMICS_H_

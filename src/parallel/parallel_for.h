@@ -1,0 +1,36 @@
+// Fork-join loop helpers layered on ThreadPool.
+#ifndef SRC_PARALLEL_PARALLEL_FOR_H_
+#define SRC_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/parallel/thread_pool.h"
+
+namespace graphbolt {
+
+inline constexpr size_t kDefaultGrain = 1024;
+
+// Applies body(i) for every i in [begin, end) across the process pool.
+template <typename Body>
+void ParallelFor(size_t begin, size_t end, const Body& body,
+                 size_t grain = kDefaultGrain) {
+  const std::function<void(size_t, size_t)> chunk = [&body](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      body(i);
+    }
+  };
+  ThreadPool::Instance().ParallelForChunked(begin, end, grain, chunk);
+}
+
+// Applies body(lo, hi) to disjoint chunks covering [begin, end).
+template <typename Body>
+void ParallelForChunks(size_t begin, size_t end, const Body& body,
+                       size_t grain = kDefaultGrain) {
+  const std::function<void(size_t, size_t)> chunk = body;
+  ThreadPool::Instance().ParallelForChunked(begin, end, grain, chunk);
+}
+
+}  // namespace graphbolt
+
+#endif  // SRC_PARALLEL_PARALLEL_FOR_H_

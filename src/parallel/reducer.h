@@ -1,0 +1,70 @@
+// Parallel reductions and prefix sums over index ranges.
+//
+// Prefix sums back the sparse->packed conversions in VertexSubset and the
+// two-pass CSR mutation (offset adjustment). The implementations fall back
+// to a serial pass for small inputs.
+#ifndef SRC_PARALLEL_REDUCER_H_
+#define SRC_PARALLEL_REDUCER_H_
+
+#include <cstddef>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/parallel_for.h"
+
+namespace graphbolt {
+
+// Sum of body(i) over [begin, end).
+template <typename T, typename Body>
+T ParallelReduceSum(size_t begin, size_t end, const Body& body, T init = T{}) {
+  std::mutex merge_mutex;
+  T total = init;
+  ParallelForChunks(begin, end, [&](size_t lo, size_t hi) {
+    T local{};
+    for (size_t i = lo; i < hi; ++i) {
+      local += body(i);
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    total += local;
+  });
+  return total;
+}
+
+// Exclusive prefix sum of `values`; returns the grand total. values[i]
+// becomes the sum of the original values[0..i).
+template <typename T>
+T ExclusivePrefixSum(std::vector<T>& values) {
+  T running{};
+  for (auto& value : values) {
+    const T next = running + value;
+    value = running;
+    running = next;
+  }
+  return running;
+}
+
+// Maximum of body(i) over [begin, end); returns `init` for empty ranges.
+template <typename T, typename Body>
+T ParallelReduceMax(size_t begin, size_t end, const Body& body, T init) {
+  std::mutex merge_mutex;
+  T best = init;
+  ParallelForChunks(begin, end, [&](size_t lo, size_t hi) {
+    T local = init;
+    for (size_t i = lo; i < hi; ++i) {
+      const T candidate = body(i);
+      if (local < candidate) {
+        local = candidate;
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    if (best < local) {
+      best = local;
+    }
+  });
+  return best;
+}
+
+}  // namespace graphbolt
+
+#endif  // SRC_PARALLEL_REDUCER_H_

@@ -1,0 +1,123 @@
+#include "src/stream/update_stream.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+StreamSplit SplitForStreaming(const EdgeList& full, double initial_fraction, uint64_t seed) {
+  GB_CHECK(initial_fraction > 0.0 && initial_fraction <= 1.0)
+      << "initial_fraction must be in (0, 1]";
+  StreamSplit split;
+  std::vector<Edge> edges = full.edges();
+  Rng rng(seed);
+  // Fisher-Yates shuffle with our deterministic generator.
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.NextBounded(i)]);
+  }
+  const size_t keep = std::max<size_t>(1, static_cast<size_t>(
+                                              static_cast<double>(edges.size()) * initial_fraction));
+  split.initial.set_num_vertices(full.num_vertices());
+  split.initial.edges().assign(edges.begin(), edges.begin() + std::min(keep, edges.size()));
+  split.held_back.assign(edges.begin() + std::min(keep, edges.size()), edges.end());
+  return split;
+}
+
+UpdateStream::UpdateStream(std::vector<Edge> held_back_additions, uint64_t seed)
+    : held_back_(std::move(held_back_additions)), rng_(seed) {}
+
+bool UpdateStream::SampleExistingEdge(const MutableGraph& graph, Edge* edge) {
+  const EdgeIndex num_edges = graph.num_edges();
+  if (num_edges == 0) {
+    return false;
+  }
+  const EdgeIndex pick = rng_.NextBounded(num_edges);
+  // Locate the source vertex owning offset `pick` via binary search on the
+  // CSR offsets.
+  const auto& offsets = graph.out().offsets();
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), pick);
+  const VertexId src = static_cast<VertexId>((it - offsets.begin()) - 1);
+  const EdgeIndex slot = pick - offsets[src];
+  edge->src = src;
+  edge->dst = graph.out().Neighbors(src)[slot];
+  edge->weight = graph.out().Weights(src)[slot];
+  return true;
+}
+
+VertexId UpdateStream::SampleAnchor(const MutableGraph& graph, MutationTargeting targeting) {
+  const VertexId n = graph.num_vertices();
+  if (targeting == MutationTargeting::kUniform) {
+    return static_cast<VertexId>(rng_.NextBounded(n));
+  }
+  // Rejection-sample a vertex from the requested out-degree class. The
+  // thresholds (4x / 0.5x the average) cleanly separate hubs from the tail
+  // on skewed graphs.
+  const double avg = static_cast<double>(graph.num_edges()) / std::max<VertexId>(1, n);
+  const size_t hi_threshold = static_cast<size_t>(avg * 4.0) + 1;
+  const size_t lo_threshold = static_cast<size_t>(avg * 0.5);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const auto v = static_cast<VertexId>(rng_.NextBounded(n));
+    const size_t degree = graph.OutDegree(v);
+    if (targeting == MutationTargeting::kHighDegree && degree >= hi_threshold) {
+      return v;
+    }
+    if (targeting == MutationTargeting::kLowDegree && degree <= lo_threshold) {
+      return v;
+    }
+  }
+  return static_cast<VertexId>(rng_.NextBounded(n));  // fallback: uniform
+}
+
+MutationBatch UpdateStream::NextBatch(const MutableGraph& graph, const BatchOptions& options) {
+  MutationBatch batch;
+  batch.reserve(options.size);
+  const VertexId n = graph.num_vertices();
+  GB_CHECK(n >= 2) << "graph too small to mutate";
+
+  for (size_t i = 0; i < options.size; ++i) {
+    const bool is_add = rng_.NextDouble() < options.add_fraction;
+    if (is_add) {
+      if (options.targeting == MutationTargeting::kUniform && next_addition_ < held_back_.size()) {
+        const Edge& e = held_back_[next_addition_++];
+        batch.push_back(EdgeMutation::Add(e.src, e.dst, e.weight));
+        continue;
+      }
+      // Synthesize an addition impacting an anchor in the requested
+      // out-degree class: the anchor is the destination, whose changed
+      // value then fans out over its out-edges.
+      const VertexId dst = SampleAnchor(graph, options.targeting);
+      VertexId src = static_cast<VertexId>(rng_.NextBounded(n));
+      for (int attempt = 0; attempt < 64 && (src == dst || graph.HasEdge(src, dst)); ++attempt) {
+        src = static_cast<VertexId>(rng_.NextBounded(n));
+      }
+      if (src == dst) {
+        continue;
+      }
+      batch.push_back(EdgeMutation::Add(src, dst, kDefaultWeight));
+    } else {
+      Edge victim;
+      if (options.targeting == MutationTargeting::kUniform) {
+        if (!SampleExistingEdge(graph, &victim)) {
+          continue;
+        }
+      } else {
+        // Delete an in-edge of an anchor in the requested degree class.
+        const VertexId dst = SampleAnchor(graph, options.targeting);
+        const auto in_nbrs = graph.InNeighbors(dst);
+        if (in_nbrs.empty()) {
+          if (!SampleExistingEdge(graph, &victim)) {
+            continue;
+          }
+        } else {
+          victim.src = in_nbrs[rng_.NextBounded(in_nbrs.size())];
+          victim.dst = dst;
+        }
+      }
+      batch.push_back(EdgeMutation::Delete(victim.src, victim.dst));
+    }
+  }
+  return batch;
+}
+
+}  // namespace graphbolt

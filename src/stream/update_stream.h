@@ -1,0 +1,76 @@
+// Mutation-stream construction following the paper's methodology (§5.1):
+// load an initial fraction of the edges, then stream the remaining edges as
+// additions mixed with deletions sampled from the loaded graph. Batches can
+// target high- or low-out-degree vertices to reproduce the Hi/Lo workloads
+// of Table 8.
+#ifndef SRC_STREAM_UPDATE_STREAM_H_
+#define SRC_STREAM_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+#include "src/util/random.h"
+
+namespace graphbolt {
+
+// Result of splitting a full dataset into the initially loaded graph and the
+// edges held back for streaming.
+struct StreamSplit {
+  EdgeList initial;
+  std::vector<Edge> held_back;  // future additions, shuffled
+};
+
+// Shuffles `full` and keeps `initial_fraction` of edges as the starting
+// snapshot; the rest become the addition stream. The vertex set is shared so
+// streamed additions never introduce ids beyond the initial graph's range.
+StreamSplit SplitForStreaming(const EdgeList& full, double initial_fraction, uint64_t seed);
+
+// Targeting anchors the mutation *destination* — the vertex whose value the
+// mutation directly impacts (§5.3B: "mutations impact vertices with high
+// outgoing degree (so that changes affect more vertices)"): a high
+// out-degree anchor fans its changed value out widely, a low one keeps the
+// impact local.
+enum class MutationTargeting {
+  kUniform,     // endpoints follow the dataset's natural distribution
+  kHighDegree,  // Hi workload: anchors drawn from high out-degree vertices
+  kLowDegree,   // Lo workload: anchors drawn from low out-degree vertices
+};
+
+struct BatchOptions {
+  size_t size = 100;
+  // Fraction of mutations that are additions; the rest delete existing edges.
+  double add_fraction = 0.5;
+  MutationTargeting targeting = MutationTargeting::kUniform;
+};
+
+// Produces successive mutation batches. Additions come from the held-back
+// stream (uniform targeting) or are synthesized against the requested degree
+// class; deletions sample edges present in the current graph.
+class UpdateStream {
+ public:
+  UpdateStream(std::vector<Edge> held_back_additions, uint64_t seed);
+
+  // Builds the next batch against the current graph state. The batch is not
+  // applied; callers pass it to MutableGraph::ApplyBatch / the engines.
+  MutationBatch NextBatch(const MutableGraph& graph, const BatchOptions& options);
+
+  size_t remaining_additions() const { return held_back_.size() - next_addition_; }
+
+ private:
+  // Uniformly samples an existing edge of `graph`; returns false if empty.
+  bool SampleExistingEdge(const MutableGraph& graph, Edge* edge);
+
+  // Samples an anchor vertex from the requested out-degree class.
+  VertexId SampleAnchor(const MutableGraph& graph, MutationTargeting targeting);
+
+  std::vector<Edge> held_back_;
+  size_t next_addition_ = 0;
+  Rng rng_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_STREAM_UPDATE_STREAM_H_

@@ -1,0 +1,148 @@
+#include "src/util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+namespace {
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+}  // namespace
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+ArgParser& ArgParser::AddString(const std::string& name, const std::string& default_value,
+                                const std::string& help) {
+  flags_.push_back({name, Kind::kString, default_value, help, default_value});
+  return *this;
+}
+
+ArgParser& ArgParser::AddInt(const std::string& name, int64_t default_value,
+                             const std::string& help) {
+  const std::string text = std::to_string(default_value);
+  flags_.push_back({name, Kind::kInt, text, help, text});
+  return *this;
+}
+
+ArgParser& ArgParser::AddDouble(const std::string& name, double default_value,
+                                const std::string& help) {
+  const std::string text = std::to_string(default_value);
+  flags_.push_back({name, Kind::kDouble, text, help, text});
+  return *this;
+}
+
+ArgParser& ArgParser::AddBool(const std::string& name, bool default_value,
+                              const std::string& help) {
+  const std::string text = default_value ? "true" : "false";
+  flags_.push_back({name, Kind::kBool, text, help, text});
+  return *this;
+}
+
+const ArgParser::Flag* ArgParser::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+ArgParser::Flag* ArgParser::FindMutable(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+void ArgParser::PrintHelp() const {
+  std::printf("%s\n\nFlags:\n", description_.c_str());
+  for (const auto& flag : flags_) {
+    std::printf("  --%s <%s>  %s (default: %s)\n", flag.name.c_str(),
+                KindName(static_cast<int>(flag.kind)), flag.help.c_str(),
+                flag.default_value.c_str());
+  }
+}
+
+bool ArgParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = FindMutable(name);
+    if (flag == nullptr) {
+      GB_LOG(kError) << "Unknown flag --" << name;
+      PrintHelp();
+      return false;
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        GB_LOG(kError) << "Flag --" << name << " requires a value";
+        return false;
+      }
+    }
+    flag->value = value;
+  }
+  return true;
+}
+
+std::string ArgParser::GetString(const std::string& name) const {
+  const Flag* flag = Find(name);
+  GB_CHECK(flag != nullptr) << "Unregistered flag: " << name;
+  return flag->value;
+}
+
+int64_t ArgParser::GetInt(const std::string& name) const {
+  const Flag* flag = Find(name);
+  GB_CHECK(flag != nullptr) << "Unregistered flag: " << name;
+  return std::strtoll(flag->value.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  const Flag* flag = Find(name);
+  GB_CHECK(flag != nullptr) << "Unregistered flag: " << name;
+  return std::strtod(flag->value.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  const Flag* flag = Find(name);
+  GB_CHECK(flag != nullptr) << "Unregistered flag: " << name;
+  return flag->value == "true" || flag->value == "1" || flag->value == "yes";
+}
+
+}  // namespace graphbolt

@@ -1,0 +1,59 @@
+// Tiny command-line flag parser shared by examples and benchmark binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` flags, plus
+// `--help` text generated from registered flags. No external dependencies.
+#ifndef SRC_UTIL_CLI_H_
+#define SRC_UTIL_CLI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphbolt {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program_description);
+
+  // Registers a flag with a default. Returns *this for chaining.
+  ArgParser& AddString(const std::string& name, const std::string& default_value,
+                       const std::string& help);
+  ArgParser& AddInt(const std::string& name, int64_t default_value, const std::string& help);
+  ArgParser& AddDouble(const std::string& name, double default_value, const std::string& help);
+  ArgParser& AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  // Parses argv. On `--help` prints usage and returns false; on an unknown
+  // flag logs an error and returns false. Otherwise returns true.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // Positional (non-flag) arguments encountered during Parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string value;  // textual form; converted on Get*
+    std::string help;
+    std::string default_value;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  Flag* FindMutable(const std::string& name);
+  void PrintHelp() const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_UTIL_CLI_H_

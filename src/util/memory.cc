@@ -1,0 +1,53 @@
+#include "src/util/memory.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace graphbolt {
+
+namespace {
+std::mutex& AccountantMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
+
+MemoryAccountant& MemoryAccountant::Instance() {
+  static MemoryAccountant instance;
+  return instance;
+}
+
+void MemoryAccountant::Add(const std::string& category, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(AccountantMutex());
+  for (auto& entry : entries_) {
+    if (entry.first == category) {
+      entry.second += bytes;
+      return;
+    }
+  }
+  entries_.emplace_back(category, bytes);
+}
+
+int64_t MemoryAccountant::Total(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(AccountantMutex());
+  for (const auto& entry : entries_) {
+    if (entry.first == category) {
+      return entry.second;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, int64_t>> MemoryAccountant::Snapshot() const {
+  std::lock_guard<std::mutex> lock(AccountantMutex());
+  auto copy = entries_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+void MemoryAccountant::Reset() {
+  std::lock_guard<std::mutex> lock(AccountantMutex());
+  entries_.clear();
+}
+
+}  // namespace graphbolt

@@ -1,0 +1,70 @@
+// Deterministic, fast pseudo-random generators.
+//
+// Graph generation, mutation-stream construction, and property tests all
+// need reproducible randomness that is cheap enough to call per edge. We use
+// SplitMix64 for seeding and Xoshiro256** for bulk generation; both are
+// public-domain algorithms (Blackman & Vigna).
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace graphbolt {
+
+// SplitMix64: used to expand a single seed into independent streams.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  static constexpr uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+  explicit Rng(uint64_t seed = kDefaultSeed) {
+    uint64_t sm = seed;
+    for (auto& s : state_) {
+      s = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_UTIL_RANDOM_H_

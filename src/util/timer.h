@@ -1,0 +1,48 @@
+// Wall-clock timers used by the benchmark harnesses and the engines'
+// self-reported phase timings.
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace graphbolt {
+
+// A restartable wall-clock timer with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Resets the epoch to now.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple start/stop windows, e.g. to separate a
+// refinement phase from a structure-mutation phase inside a loop.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_UTIL_TIMER_H_

@@ -1,0 +1,266 @@
+// PageRank across all three engines: analytic sanity checks, cross-engine
+// equivalence, and streaming correctness.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/pagerank.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/engine/reset_engine.h"
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(PageRankLigra, UniformOnCycle) {
+  // On a directed cycle every vertex has one in/out edge, so rank stays 1.
+  MutableGraph graph(GenerateCycle(10));
+  LigraEngine<PageRank> engine(&graph, PageRank{});
+  engine.Compute();
+  for (const double rank : engine.values()) {
+    EXPECT_NEAR(rank, 1.0, 1e-12);
+  }
+}
+
+TEST(PageRankLigra, UniformOnCompleteGraph) {
+  MutableGraph graph(GenerateComplete(6));
+  LigraEngine<PageRank> engine(&graph, PageRank{});
+  engine.Compute();
+  for (const double rank : engine.values()) {
+    EXPECT_NEAR(rank, 1.0, 1e-12);
+  }
+}
+
+TEST(PageRankLigra, SinkAccumulatesRank) {
+  // 0 -> 2, 1 -> 2: vertex 2 collects rank from both.
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 2);
+  list.Add(1, 2);
+  MutableGraph graph(std::move(list));
+  LigraEngine<PageRank> engine(&graph, PageRank{});
+  engine.Compute();
+  EXPECT_NEAR(engine.values()[0], 0.15, 1e-12);
+  EXPECT_NEAR(engine.values()[1], 0.15, 1e-12);
+  EXPECT_GT(engine.values()[2], engine.values()[0]);
+  // After convergence to the 10-iteration fixed point: 0.15 + 0.85 * 2*0.15.
+  EXPECT_NEAR(engine.values()[2], 0.15 + 0.85 * 0.3, 1e-12);
+}
+
+TEST(PageRankEngines, AgreeOnRmat) {
+  EdgeList list = GenerateRmat(1000, 8000, {.seed = 21});
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  MutableGraph g3(list);
+  LigraEngine<PageRank> ligra(&g1, PageRank{});
+  ResetEngine<PageRank> reset(&g2, PageRank{});
+  GraphBoltEngine<PageRank> bolt(&g3, PageRank{});
+  ligra.Compute();
+  reset.Compute();
+  bolt.InitialCompute();
+  EXPECT_LT(MaxGap(ligra.values(), reset.values()), 1e-8);
+  EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-8);
+}
+
+TEST(PageRankEngines, IterationCountsMatch) {
+  EdgeList list = GenerateRmat(300, 2000, {.seed = 22});
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  LigraEngine<PageRank> ligra(&g1, PageRank{}, {.max_iterations = 7});
+  GraphBoltEngine<PageRank> bolt(&g2, PageRank{}, {.max_iterations = 7});
+  ligra.Compute();
+  bolt.InitialCompute();
+  EXPECT_EQ(ligra.stats().iterations, 7u);
+  EXPECT_EQ(bolt.stats().iterations, 7u);
+  EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-9);
+}
+
+TEST(PageRankGraphBolt, SingleEdgeAdditionMatchesRestart) {
+  EdgeList list = PaperFigure2aGraph();
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  const MutationBatch batch{EdgeMutation::Add(0, 3)};
+  bolt.ApplyMutations(batch);
+  ligra.ApplyMutations(batch);
+  EXPECT_LT(MaxGap(bolt.values(), ligra.values()), kTol);
+}
+
+TEST(PageRankGraphBolt, SingleEdgeDeletionMatchesRestart) {
+  EdgeList list = PaperFigure2aGraph();
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  const MutationBatch batch{EdgeMutation::Delete(2, 1)};
+  bolt.ApplyMutations(batch);
+  ligra.ApplyMutations(batch);
+  EXPECT_LT(MaxGap(bolt.values(), ligra.values()), kTol);
+}
+
+TEST(PageRankGraphBolt, MixedBatchesOnRmatMatchRestart) {
+  EdgeList full = GenerateRmat(1500, 12000, {.seed = 23});
+  StreamSplit split = SplitForStreaming(full, 0.5, 24);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  UpdateStream stream(split.held_back, 25);
+  for (int round = 0; round < 8; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 40, .add_fraction = 0.6});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7) << "round " << round;
+  }
+}
+
+TEST(PageRankGraphBolt, ErrorDoesNotAccumulateOverManyBatches) {
+  EdgeList full = GenerateRmat(600, 5000, {.seed = 26});
+  StreamSplit split = SplitForStreaming(full, 0.5, 27);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  UpdateStream stream(split.held_back, 28);
+  double last_gap = 0.0;
+  for (int round = 0; round < 25; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 20, .add_fraction = 0.55});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    last_gap = MaxGap(bolt.values(), ligra.values());
+    ASSERT_LT(last_gap, 1e-7) << "round " << round;
+  }
+  // After 25 batches the refined result is still exact, unlike naive reuse
+  // (Table 1's escalating error).
+  EXPECT_LT(last_gap, 1e-7);
+}
+
+TEST(PageRankGraphBolt, ProcessesFewerEdgesThanRestart) {
+  EdgeList full = GenerateRmat(4000, 40000, {.seed = 29});
+  StreamSplit split = SplitForStreaming(full, 0.5, 30);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  ResetEngine<PageRank> reset(&g2, PageRank{});
+  reset.Compute();
+
+  UpdateStream stream(split.held_back, 31);
+  const MutationBatch batch = stream.NextBatch(g1, {.size = 10, .add_fraction = 0.5});
+  bolt.ApplyMutations(batch);
+  reset.ApplyMutations(batch);
+  EXPECT_LT(bolt.stats().edges_processed, reset.stats().edges_processed);
+}
+
+TEST(PageRankGraphBolt, EmptyBatchIsFast) {
+  EdgeList list = GenerateRmat(500, 3000, {.seed = 32});
+  MutableGraph graph(list);
+  GraphBoltEngine<PageRank> bolt(&graph, PageRank{});
+  bolt.InitialCompute();
+  const std::vector<double> before = bolt.values();
+  bolt.ApplyMutations({});
+  EXPECT_EQ(bolt.stats().edges_processed, 0u);
+  EXPECT_LT(MaxGap(before, bolt.values()), 1e-15);
+}
+
+TEST(PageRankGraphBolt, NoOpBatchLeavesValues) {
+  EdgeList list = PaperFigure2aGraph();
+  MutableGraph graph(list);
+  GraphBoltEngine<PageRank> bolt(&graph, PageRank{});
+  bolt.InitialCompute();
+  const std::vector<double> before = bolt.values();
+  // Adding an existing edge and deleting an absent one are both no-ops.
+  bolt.ApplyMutations({EdgeMutation::Add(0, 1), EdgeMutation::Delete(4, 1)});
+  EXPECT_LT(MaxGap(before, bolt.values()), 1e-15);
+}
+
+TEST(PageRankGraphBolt, MutationAddingNewVertices) {
+  EdgeList list = PaperFigure2aGraph();
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  const MutationBatch batch{EdgeMutation::Add(4, 7), EdgeMutation::Add(7, 0)};
+  bolt.ApplyMutations(batch);
+  ligra.ApplyMutations(batch);
+  ASSERT_EQ(bolt.values().size(), 8u);
+  EXPECT_LT(MaxGap(bolt.values(), ligra.values()), kTol);
+}
+
+TEST(PageRankGraphBolt, DanglingVertexCreatedByDeletion) {
+  // Deleting vertex 3's only out-edges makes it dangling; the Fanout guard
+  // must keep contributions finite and match the restart result.
+  EdgeList list = PaperFigure2aGraph();
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  bolt.InitialCompute();
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  ligra.Compute();
+
+  const MutationBatch batch{EdgeMutation::Delete(3, 2), EdgeMutation::Delete(3, 4)};
+  bolt.ApplyMutations(batch);
+  ligra.ApplyMutations(batch);
+  EXPECT_LT(MaxGap(bolt.values(), ligra.values()), kTol);
+}
+
+TEST(PageRankGraphBolt, RetractPropagateModeMatchesDeltaMode) {
+  // GraphBolt-RP (§5.4A) must compute identical results, just with two
+  // aggregation operations per edge instead of one.
+  EdgeList full = GenerateRmat(800, 6000, {.seed = 33});
+  StreamSplit split = SplitForStreaming(full, 0.5, 34);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> delta(&g1, PageRank{});
+  GraphBoltEngine<PageRank> rp(&g2, PageRank{}, {.use_retract_propagate = true});
+  delta.InitialCompute();
+  rp.InitialCompute();
+
+  UpdateStream stream(split.held_back, 35);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});
+    delta.ApplyMutations(batch);
+    rp.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(delta.values(), rp.values()), 1e-8) << "round " << round;
+  }
+}
+
+TEST(PageRankReset, MatchesLigraUnderStreaming) {
+  EdgeList full = GenerateRmat(700, 6000, {.seed = 36});
+  StreamSplit split = SplitForStreaming(full, 0.5, 37);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  ResetEngine<PageRank> reset(&g1, PageRank{});
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  reset.Compute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, 38);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 50, .add_fraction = 0.6});
+    reset.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(reset.values(), ligra.values()), 1e-8) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace graphbolt

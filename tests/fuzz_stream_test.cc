@@ -1,0 +1,147 @@
+// Randomized long-stream differential fuzzing: many seeds × many batches ×
+// adversarial batch compositions, always checking the one invariant that
+// defines GraphBolt — refined results equal a from-scratch run on the final
+// snapshot.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/algorithms/coem.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/sssp.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+// Adversarial batch generator: beyond UpdateStream's realistic mixes, this
+// produces duplicate mutations, add/delete flip-flops on the same endpoints,
+// self-loops, mutations on brand-new vertices, and weight updates.
+MutationBatch AdversarialBatch(const MutableGraph& graph, Rng& rng, size_t size) {
+  MutationBatch batch;
+  const VertexId n = graph.num_vertices();
+  for (size_t i = 0; i < size; ++i) {
+    const double roll = rng.NextDouble();
+    const auto src = static_cast<VertexId>(rng.NextBounded(n));
+    const auto dst = static_cast<VertexId>(rng.NextBounded(n));
+    if (roll < 0.30) {
+      batch.push_back(EdgeMutation::Add(src, dst, static_cast<Weight>(0.1 + rng.NextDouble())));
+    } else if (roll < 0.55) {
+      batch.push_back(EdgeMutation::Delete(src, dst));
+    } else if (roll < 0.65) {
+      // Flip-flop: add then delete (or vice versa) the same endpoints.
+      batch.push_back(EdgeMutation::Add(src, dst));
+      batch.push_back(EdgeMutation::Delete(src, dst));
+    } else if (roll < 0.75) {
+      batch.push_back(EdgeMutation::UpdateWeight(src, dst, static_cast<Weight>(0.5 + rng.NextDouble())));
+    } else if (roll < 0.80) {
+      batch.push_back(EdgeMutation::Add(src, src));  // self loop: must be dropped
+    } else if (roll < 0.88) {
+      // Touch a vertex just beyond the current range.
+      batch.push_back(EdgeMutation::Add(src, n + static_cast<VertexId>(rng.NextBounded(3))));
+    } else {
+      // Duplicate of an existing edge (no-op add).
+      const auto nbrs = graph.OutNeighbors(src);
+      if (!nbrs.empty()) {
+        batch.push_back(EdgeMutation::Add(src, nbrs[rng.NextBounded(nbrs.size())]));
+      }
+    }
+  }
+  return batch;
+}
+
+class FuzzSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, PageRankLongAdversarialStream) {
+  const uint64_t seed = GetParam();
+  EdgeList initial = GenerateRmat(300, 2200, {.seed = seed, .assign_random_weights = true});
+  MutableGraph g1(initial);
+  MutableGraph g2(initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  bolt.InitialCompute();
+  ligra.Compute();
+  Rng rng(seed * 31 + 7);
+  for (int round = 0; round < 12; ++round) {
+    const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(40));
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7)
+        << "seed=" << seed << " round=" << round;
+    ASSERT_TRUE(g1.CheckInvariants());
+  }
+}
+
+TEST_P(FuzzSweep, CoEMWithPrunedHistory) {
+  const uint64_t seed = GetParam();
+  EdgeList initial = GenerateRmat(300, 2200, {.seed = seed + 1000, .assign_random_weights = true});
+  CoEM algo(300, 0.1, seed);
+  MutableGraph g1(initial);
+  MutableGraph g2(initial);
+  GraphBoltEngine<CoEM> bolt(&g1, algo, {.max_iterations = 10, .history_size = 4});
+  LigraEngine<CoEM> ligra(&g2, algo, {.max_iterations = 10});
+  bolt.InitialCompute();
+  ligra.Compute();
+  Rng rng(seed * 17 + 3);
+  for (int round = 0; round < 10; ++round) {
+    const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(25));
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7)
+        << "seed=" << seed << " round=" << round;
+  }
+}
+
+TEST_P(FuzzSweep, SsspConvergenceStream) {
+  const uint64_t seed = GetParam();
+  EdgeList initial = GenerateRmat(300, 2200, {.seed = seed + 2000, .assign_random_weights = true});
+  MutableGraph g1(initial);
+  MutableGraph g2(initial);
+  GraphBoltEngine<Sssp> bolt(&g1, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
+  LigraEngine<Sssp> ligra(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
+  bolt.InitialCompute();
+  ligra.Compute();
+  Rng rng(seed * 13 + 11);
+  for (int round = 0; round < 10; ++round) {
+    const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(25));
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-9)
+        << "seed=" << seed << " round=" << round;
+  }
+}
+
+TEST_P(FuzzSweep, LabelPropagationConvergenceMode) {
+  const uint64_t seed = GetParam();
+  EdgeList initial = GenerateRmat(300, 2200, {.seed = seed + 3000, .assign_random_weights = true});
+  LabelPropagation<3> algo(300, 0.15, seed, /*tolerance=*/1e-7);
+  MutableGraph g1(initial);
+  MutableGraph g2(initial);
+  GraphBoltEngine<LabelPropagation<3>> bolt(&g1, algo,
+                                            {.max_iterations = 50, .run_to_convergence = true});
+  LigraEngine<LabelPropagation<3>> ligra(&g2, algo,
+                                         {.max_iterations = 50, .run_to_convergence = true});
+  bolt.InitialCompute();
+  ligra.Compute();
+  Rng rng(seed * 7 + 29);
+  for (int round = 0; round < 8; ++round) {
+    const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(20));
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    // Convergence-mode tolerance scheduling admits drift up to ~tolerance
+    // amplified by the propagation depth.
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-4)
+        << "seed=" << seed << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace graphbolt

@@ -1,0 +1,140 @@
+// Unit tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/graph/mutable_graph.h"
+
+namespace graphbolt {
+namespace {
+
+TEST(Rmat, ProducesRequestedScale) {
+  EdgeList list = GenerateRmat(1000, 8000, {.seed = 1});
+  EXPECT_EQ(list.num_vertices(), 1000u);
+  // Deduplication discards some samples; expect at least 85% of the target.
+  EXPECT_GE(list.num_edges(), 6800u);
+  EXPECT_LE(list.num_edges(), 8000u);
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  EdgeList a = GenerateRmat(500, 2000, {.seed = 9});
+  EdgeList b = GenerateRmat(500, 2000, {.seed = 9});
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+  }
+}
+
+TEST(Rmat, NoSelfLoopsOrDuplicates) {
+  EdgeList list = GenerateRmat(300, 2000, {.seed = 5});
+  for (size_t i = 0; i < list.num_edges(); ++i) {
+    EXPECT_NE(list.edges()[i].src, list.edges()[i].dst);
+    if (i > 0) {
+      const Edge& prev = list.edges()[i - 1];
+      const Edge& cur = list.edges()[i];
+      EXPECT_TRUE(prev.src != cur.src || prev.dst != cur.dst);
+    }
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // R-MAT's defining property: a heavy-tailed degree distribution. The top
+  // 1% of vertices must own far more than 1% of the edges.
+  EdgeList list = GenerateRmat(2000, 20000, {.seed = 2});
+  MutableGraph graph(list);
+  std::vector<size_t> degrees;
+  degrees.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    degrees.push_back(graph.OutDegree(v));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  size_t top = 0;
+  for (size_t i = 0; i < degrees.size() / 100; ++i) {
+    top += degrees[i];
+  }
+  EXPECT_GT(top, graph.num_edges() / 10);  // top 1% holds >10% of edges
+}
+
+TEST(Rmat, RandomWeightsInRange) {
+  EdgeList list = GenerateRmat(300, 1500, {.seed = 3, .assign_random_weights = true});
+  for (const Edge& e : list.edges()) {
+    EXPECT_GT(e.weight, 0.0f);
+    EXPECT_LE(e.weight, 1.0f);
+  }
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  EdgeList list = GenerateErdosRenyi(100, 500, 4);
+  EXPECT_EQ(list.num_edges(), 500u);
+  EXPECT_EQ(list.num_vertices(), 100u);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  EdgeList a = GenerateErdosRenyi(50, 100, 6);
+  EdgeList b = GenerateErdosRenyi(50, 100, 6);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+  }
+}
+
+TEST(Cycle, Structure) {
+  EdgeList list = GenerateCycle(5);
+  EXPECT_EQ(list.num_edges(), 5u);
+  MutableGraph graph(list);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.OutDegree(v), 1u);
+    EXPECT_EQ(graph.InDegree(v), 1u);
+  }
+  EXPECT_TRUE(graph.HasEdge(4, 0));
+}
+
+TEST(Chain, Structure) {
+  EdgeList list = GenerateChain(4);
+  EXPECT_EQ(list.num_edges(), 3u);
+  MutableGraph graph(list);
+  EXPECT_EQ(graph.OutDegree(3), 0u);
+  EXPECT_EQ(graph.InDegree(0), 0u);
+}
+
+TEST(Star, Structure) {
+  EdgeList list = GenerateStar(6);
+  EXPECT_EQ(list.num_edges(), 10u);  // 2 * (n - 1)
+  MutableGraph graph(list);
+  EXPECT_EQ(graph.OutDegree(0), 5u);
+  EXPECT_EQ(graph.InDegree(0), 5u);
+  EXPECT_EQ(graph.OutDegree(3), 1u);
+}
+
+TEST(Complete, Structure) {
+  EdgeList list = GenerateComplete(4);
+  EXPECT_EQ(list.num_edges(), 12u);  // n * (n - 1)
+  MutableGraph graph(list);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(graph.OutDegree(v), 3u);
+    EXPECT_EQ(graph.InDegree(v), 3u);
+  }
+}
+
+TEST(Grid, Structure) {
+  EdgeList list = GenerateGrid(3, 4);
+  EXPECT_EQ(list.num_vertices(), 12u);
+  // (rows * (cols-1)) right edges + ((rows-1) * cols) down edges.
+  EXPECT_EQ(list.num_edges(), 3u * 3 + 2u * 4);
+  MutableGraph graph(list);
+  EXPECT_EQ(graph.OutDegree(0), 2u);   // corner
+  EXPECT_EQ(graph.OutDegree(11), 0u);  // opposite corner
+}
+
+TEST(Generators, SingleVertexEdgeCases) {
+  EXPECT_EQ(GenerateChain(1).num_edges(), 0u);
+  EXPECT_EQ(GenerateCycle(1).num_edges(), 0u);
+  EXPECT_EQ(GenerateStar(1).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace graphbolt

@@ -1,0 +1,168 @@
+// Unit tests for EdgeList and the CSR adjacency structure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/edge_list.h"
+
+namespace graphbolt {
+namespace {
+
+EdgeList SmallGraph() {
+  // The 5-vertex graph of Figure 2a (paper): 0->1, 1->2, 2->0, 2->1, 3->2,
+  // 3->4, 4->3.
+  EdgeList list;
+  list.set_num_vertices(5);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(2, 1);
+  list.Add(3, 2);
+  list.Add(3, 4);
+  list.Add(4, 3);
+  return list;
+}
+
+TEST(EdgeList, AddTracksVertexCount) {
+  EdgeList list;
+  list.Add(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1u);
+}
+
+TEST(EdgeList, SortAndDeduplicateRemovesDupsAndSelfLoops) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(0, 1);
+  list.Add(1, 1);  // self loop
+  list.Add(1, 0);
+  const size_t removed = list.SortAndDeduplicate();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_TRUE(list.HasEdgeSorted(0, 1));
+  EXPECT_TRUE(list.HasEdgeSorted(1, 0));
+  EXPECT_FALSE(list.HasEdgeSorted(1, 1));
+}
+
+TEST(EdgeList, DeduplicateKeepsFirstWeight) {
+  EdgeList list;
+  list.Add(0, 1, 2.5f);
+  list.Add(0, 1, 9.0f);
+  list.SortAndDeduplicate();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(list.edges()[0].weight, 2.5f);
+}
+
+TEST(Csr, BuildsCorrectDegrees) {
+  EdgeList list = SmallGraph();
+  Csr csr = Csr::FromEdges(list.num_vertices(), list.edges());
+  EXPECT_EQ(csr.num_vertices(), 5u);
+  EXPECT_EQ(csr.num_edges(), 7u);
+  EXPECT_EQ(csr.Degree(0), 1u);
+  EXPECT_EQ(csr.Degree(2), 2u);
+  EXPECT_EQ(csr.Degree(3), 2u);
+  EXPECT_EQ(csr.Degree(4), 1u);
+}
+
+TEST(Csr, ReverseBuildsInEdges) {
+  EdgeList list = SmallGraph();
+  Csr csc = Csr::FromEdges(list.num_vertices(), list.edges(), /*reverse=*/true);
+  EXPECT_EQ(csc.Degree(2), 2u);  // in-edges of 2: from 1 and 3
+  const auto nbrs = csc.Neighbors(2);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 3u);
+}
+
+TEST(Csr, NeighborsSorted) {
+  EdgeList list;
+  list.set_num_vertices(4);
+  list.Add(0, 3);
+  list.Add(0, 1);
+  list.Add(0, 2);
+  Csr csr = Csr::FromEdges(4, list.edges());
+  const auto nbrs = csr.Neighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Csr, HasEdgeAndWeight) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1, 0.5f);
+  list.Add(0, 2, 1.5f);
+  Csr csr = Csr::FromEdges(3, list.edges());
+  EXPECT_TRUE(csr.HasEdge(0, 1));
+  EXPECT_FALSE(csr.HasEdge(1, 0));
+  EXPECT_FLOAT_EQ(csr.EdgeWeight(0, 2), 1.5f);
+  EXPECT_FLOAT_EQ(csr.EdgeWeight(2, 0), kDefaultWeight);  // absent
+}
+
+TEST(Csr, ApplyEditsAddsAndDeletes) {
+  EdgeList list = SmallGraph();
+  Csr csr = Csr::FromEdges(5, list.edges());
+  std::vector<std::vector<VertexId>> deletes(5);
+  std::vector<std::vector<std::pair<VertexId, Weight>>> adds(5);
+  deletes[2] = {1};            // delete 2->1
+  adds[1] = {{3, 2.0f}};       // add 1->3
+  adds[4] = {{0, 1.0f}};       // add 4->0
+  csr.ApplyEdits(deletes, adds);
+  EXPECT_TRUE(csr.CheckInvariants());
+  EXPECT_EQ(csr.num_edges(), 8u);
+  EXPECT_FALSE(csr.HasEdge(2, 1));
+  EXPECT_TRUE(csr.HasEdge(1, 3));
+  EXPECT_FLOAT_EQ(csr.EdgeWeight(1, 3), 2.0f);
+  EXPECT_TRUE(csr.HasEdge(4, 0));
+  EXPECT_TRUE(csr.HasEdge(0, 1));  // untouched edges survive
+}
+
+TEST(Csr, ApplyEditsReAddUpdatesWeight) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1, 1.0f);
+  Csr csr = Csr::FromEdges(2, list.edges());
+  std::vector<std::vector<VertexId>> deletes(2);
+  std::vector<std::vector<std::pair<VertexId, Weight>>> adds(2);
+  adds[0] = {{1, 3.0f}};
+  csr.ApplyEdits(deletes, adds);
+  EXPECT_EQ(csr.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(csr.EdgeWeight(0, 1), 3.0f);
+}
+
+TEST(Csr, ApplyEditsEmptyIsNoop) {
+  EdgeList list = SmallGraph();
+  Csr csr = Csr::FromEdges(5, list.edges());
+  std::vector<std::vector<VertexId>> deletes(5);
+  std::vector<std::vector<std::pair<VertexId, Weight>>> adds(5);
+  csr.ApplyEdits(deletes, adds);
+  EXPECT_EQ(csr.num_edges(), 7u);
+  EXPECT_TRUE(csr.CheckInvariants());
+}
+
+TEST(Csr, GrowVerticesAddsIsolated) {
+  EdgeList list = SmallGraph();
+  Csr csr = Csr::FromEdges(5, list.edges());
+  csr.GrowVertices(8);
+  EXPECT_EQ(csr.num_vertices(), 8u);
+  EXPECT_EQ(csr.Degree(7), 0u);
+  EXPECT_EQ(csr.num_edges(), 7u);
+  EXPECT_TRUE(csr.CheckInvariants());
+}
+
+TEST(Csr, EmptyGraph) {
+  Csr csr = Csr::FromEdges(3, {});
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_EQ(csr.Degree(0), 0u);
+  EXPECT_TRUE(csr.CheckInvariants());
+}
+
+TEST(Csr, CheckInvariantsDetectsCorruption) {
+  EdgeList list = SmallGraph();
+  Csr csr = Csr::FromEdges(5, list.edges());
+  EXPECT_TRUE(csr.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace graphbolt

@@ -1,0 +1,116 @@
+// Unit tests for graph file IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+namespace graphbolt {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TextIo, RoundTrip) {
+  EdgeList original = GenerateErdosRenyi(40, 150, 8, /*assign_random_weights=*/true);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeListText(original, path));
+  bool ok = false;
+  EdgeList loaded = LoadEdgeListText(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (size_t i = 0; i < loaded.num_edges(); ++i) {
+    EXPECT_EQ(loaded.edges()[i].src, original.edges()[i].src);
+    EXPECT_EQ(loaded.edges()[i].dst, original.edges()[i].dst);
+    EXPECT_NEAR(loaded.edges()[i].weight, original.edges()[i].weight, 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextIo, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n% another\n0 1\n1 2 0.5\n";
+  }
+  bool ok = false;
+  EdgeList loaded = LoadEdgeListText(path, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(loaded.num_edges(), 2u);
+  EXPECT_FLOAT_EQ(loaded.edges()[1].weight, 0.5f);
+  EXPECT_FLOAT_EQ(loaded.edges()[0].weight, kDefaultWeight);
+  std::remove(path.c_str());
+}
+
+TEST(TextIo, MissingFileReportsFailure) {
+  bool ok = true;
+  EdgeList loaded = LoadEdgeListText(TempPath("does_not_exist.txt"), &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST(BinaryIo, RoundTripExact) {
+  EdgeList original = GenerateRmat(100, 700, {.seed = 4, .assign_random_weights = true});
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(original, path));
+  bool ok = false;
+  EdgeList loaded = LoadEdgeListBinary(path, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (size_t i = 0; i < loaded.num_edges(); ++i) {
+    EXPECT_EQ(loaded.edges()[i], original.edges()[i]);  // bitwise weights
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph";
+  }
+  bool ok = true;
+  EdgeList loaded = LoadEdgeListBinary(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsTruncatedFile) {
+  EdgeList original = GenerateErdosRenyi(20, 50, 1);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(original, path));
+  // Truncate the file to half its size.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  }
+  bool ok = true;
+  EdgeList loaded = LoadEdgeListBinary(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrips) {
+  EdgeList empty;
+  empty.set_num_vertices(5);
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(empty, path));
+  bool ok = false;
+  EdgeList loaded = LoadEdgeListBinary(path, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(loaded.num_vertices(), 5u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graphbolt

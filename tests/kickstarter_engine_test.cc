@@ -1,0 +1,182 @@
+// Tests for the generalized KickStarterEngine across its trait instances,
+// plus MultiSourceReach (the integer-bitmask aggregation) on GraphBolt.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/connected_components.h"
+#include "src/algorithms/multi_source_reach.h"
+#include "src/algorithms/sssp.h"
+#include "src/algorithms/widest_path.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/graph/generators.h"
+#include "src/kickstarter/kickstarter_engine.h"
+#include "src/stream/update_stream.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+EdgeList Symmetrize(EdgeList list) {
+  const size_t original = list.num_edges();
+  for (size_t i = 0; i < original; ++i) {
+    const Edge e = list.edges()[i];
+    list.edges().push_back({e.dst, e.src, e.weight});
+  }
+  list.SortAndDeduplicate();
+  return list;
+}
+
+// ----- KickStarterEngine<KsSsspTraits> matches the GraphBolt reference ---------
+
+TEST(KickStarterEngineSssp, StreamingMatchesReference) {
+  EdgeList full = GenerateRmat(600, 5000, {.seed = 220, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, 221);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  KickStarterEngine<KsSsspTraits> ks(&g1, KsSsspTraits(0));
+  LigraEngine<Sssp> reference(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
+  ks.InitialCompute();
+  reference.Compute();
+  UpdateStream stream(split.held_back, 222);
+  for (int round = 0; round < 6; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.5});
+    ks.ApplyMutations(batch);
+    reference.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(ks.values(), reference.values()), 1e-9) << "round " << round;
+  }
+}
+
+TEST(KickStarterEngineSssp, BfsModeViaUnitWeights) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1, 9.0f);
+  list.Add(1, 2, 9.0f);
+  MutableGraph graph(std::move(list));
+  KickStarterEngine<KsSsspTraits> ks(&graph, KsSsspTraits(0, /*use_weights=*/false));
+  ks.InitialCompute();
+  EXPECT_DOUBLE_EQ(ks.values()[2], 2.0);
+}
+
+// ----- Connected components traits ---------------------------------------------
+
+TEST(KickStarterEngineComponents, StreamingMatchesReference) {
+  EdgeList full = Symmetrize(GenerateRmat(500, 3000, {.seed = 223}));
+  StreamSplit split = SplitForStreaming(full, 0.5, 224);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  KickStarterEngine<KsComponentsTraits> ks(&g1, KsComponentsTraits{});
+  LigraEngine<ConnectedComponents> reference(
+      &g2, ConnectedComponents{}, {.max_iterations = 256, .run_to_convergence = true});
+  ks.InitialCompute();
+  reference.Compute();
+  UpdateStream stream(split.held_back, 225);
+  for (int round = 0; round < 6; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
+    ks.ApplyMutations(batch);
+    reference.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(ks.values(), reference.values()), 1e-9) << "round " << round;
+  }
+}
+
+TEST(KickStarterEngineComponents, SplitAndMerge) {
+  EdgeList list;
+  list.set_num_vertices(4);
+  list.Add(0, 1);
+  list.Add(1, 0);
+  list.Add(1, 2);
+  list.Add(2, 1);
+  list.Add(2, 3);
+  list.Add(3, 2);
+  MutableGraph graph(std::move(list));
+  KickStarterEngine<KsComponentsTraits> ks(&graph, KsComponentsTraits{});
+  ks.InitialCompute();
+  EXPECT_DOUBLE_EQ(ks.values()[3], 0.0);
+  ks.ApplyMutations({EdgeMutation::Delete(1, 2), EdgeMutation::Delete(2, 1)});
+  EXPECT_DOUBLE_EQ(ks.values()[2], 2.0);
+  EXPECT_DOUBLE_EQ(ks.values()[3], 2.0);
+  ks.ApplyMutations({EdgeMutation::Add(0, 2), EdgeMutation::Add(2, 0)});
+  EXPECT_DOUBLE_EQ(ks.values()[3], 0.0);
+}
+
+// ----- Widest path traits -------------------------------------------------------
+
+TEST(KickStarterEngineWidest, StreamingMatchesReference) {
+  EdgeList full = GenerateRmat(500, 4000, {.seed = 226, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, 227);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  KickStarterEngine<KsWidestPathTraits> ks(&g1, KsWidestPathTraits(0));
+  LigraEngine<WidestPath> reference(&g2, WidestPath(0),
+                                    {.max_iterations = 256, .run_to_convergence = true});
+  ks.InitialCompute();
+  reference.Compute();
+  UpdateStream stream(split.held_back, 228);
+  for (int round = 0; round < 6; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
+    ks.ApplyMutations(batch);
+    reference.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(ks.values(), reference.values()), 1e-9) << "round " << round;
+  }
+}
+
+// ----- Multi-source reachability on GraphBolt -----------------------------------
+
+TEST(MultiSourceReach, MasksOnChain) {
+  MutableGraph graph(GenerateChain(5));
+  MultiSourceReach algo({0, 2}, graph.num_vertices());
+  GraphBoltEngine<MultiSourceReach> engine(&graph, algo,
+                                           {.max_iterations = 64, .run_to_convergence = true});
+  engine.InitialCompute();
+  EXPECT_EQ(engine.values()[0], 0b01u);
+  EXPECT_EQ(engine.values()[1], 0b01u);
+  EXPECT_EQ(engine.values()[2], 0b11u);  // reached by 0, is source 1
+  EXPECT_EQ(engine.values()[4], 0b11u);
+}
+
+TEST(MultiSourceReach, DeletionRemovesReachability) {
+  MutableGraph graph(GenerateChain(4));
+  MultiSourceReach algo({0}, graph.num_vertices());
+  GraphBoltEngine<MultiSourceReach> engine(&graph, algo,
+                                           {.max_iterations = 64, .run_to_convergence = true});
+  engine.InitialCompute();
+  EXPECT_EQ(engine.values()[3], 1u);
+  engine.ApplyMutations({EdgeMutation::Delete(1, 2)});
+  EXPECT_EQ(engine.values()[2], 0u);
+  EXPECT_EQ(engine.values()[3], 0u);
+  engine.ApplyMutations({EdgeMutation::Add(0, 2)});
+  EXPECT_EQ(engine.values()[3], 1u);
+}
+
+TEST(MultiSourceReach, StreamingMatchesRestart) {
+  EdgeList full = GenerateRmat(600, 5000, {.seed = 229});
+  StreamSplit split = SplitForStreaming(full, 0.5, 230);
+  MultiSourceReach algo({0, 7, 13, 42}, full.num_vertices());
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<MultiSourceReach> bolt(&g1, algo,
+                                         {.max_iterations = 256, .run_to_convergence = true});
+  LigraEngine<MultiSourceReach> ligra(&g2, algo,
+                                      {.max_iterations = 256, .run_to_convergence = true});
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, 231);
+  for (int round = 0; round < 6; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    for (VertexId v = 0; v < g1.num_vertices(); ++v) {
+      ASSERT_EQ(bolt.values()[v], ligra.values()[v]) << "round " << round << " vertex " << v;
+    }
+  }
+}
+
+TEST(MultiSourceReach, RejectsTooManySources) {
+  std::vector<VertexId> sources(65);
+  for (VertexId s = 0; s < 65; ++s) {
+    sources[s] = s;
+  }
+  EXPECT_DEATH(MultiSourceReach(sources, 100), "at most 64 sources");
+}
+
+}  // namespace
+}  // namespace graphbolt

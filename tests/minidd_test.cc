@@ -1,0 +1,155 @@
+// Tests for the mini differential-dataflow substrate and its PageRank /
+// SSSP dataflows (§5.4A comparator).
+#include <gtest/gtest.h>
+
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/sssp.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/graph/generators.h"
+#include "src/minidd/collection.h"
+#include "src/minidd/dataflow.h"
+#include "src/stream/update_stream.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+TEST(EdgeArrangement, BuildsBothDirections) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1, 2.0f);
+  list.Add(0, 2, 3.0f);
+  EdgeArrangement arr(list);
+  EXPECT_EQ(arr.num_tuples(), 2u);
+  EXPECT_EQ(arr.OutTuples(0).size(), 2u);
+  EXPECT_EQ(arr.InTuples(1).size(), 1u);
+  EXPECT_EQ(arr.InTuples(1)[0].first, 0u);
+  EXPECT_FLOAT_EQ(arr.InTuples(1)[0].second, 2.0f);
+  EXPECT_TRUE(arr.OutTuples(2).empty());
+}
+
+TEST(EdgeArrangement, ApplyDiffsInsertAndRemove) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1);
+  EdgeArrangement arr(list);
+  const auto touched = arr.ApplyDiffs({{{1, 2, 1.0f}, +1}, {{0, 1, 1.0f}, -1}});
+  EXPECT_EQ(arr.num_tuples(), 1u);
+  EXPECT_TRUE(arr.OutTuples(0).empty());
+  EXPECT_EQ(arr.OutTuples(1).size(), 1u);
+  EXPECT_EQ(touched.size(), 3u);  // keys 0, 1, 2
+}
+
+TEST(EdgeArrangement, DuplicateInsertIgnored) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1);
+  EdgeArrangement arr(list);
+  arr.ApplyDiffs({{{0, 1, 1.0f}, +1}});
+  EXPECT_EQ(arr.num_tuples(), 1u);
+}
+
+TEST(EdgeArrangement, RemoveAbsentIgnored) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1);
+  EdgeArrangement arr(list);
+  const auto touched = arr.ApplyDiffs({{{1, 0, 1.0f}, -1}});
+  EXPECT_TRUE(touched.empty());
+  EXPECT_EQ(arr.num_tuples(), 1u);
+}
+
+TEST(ToDiffs, ConvertsMutations) {
+  const auto diffs = ToDiffs({EdgeMutation::Add(0, 1, 2.0f), EdgeMutation::Delete(1, 2)});
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].multiplicity, 1);
+  EXPECT_EQ(diffs[1].multiplicity, -1);
+  EXPECT_EQ(diffs[1].record.src, 1u);
+}
+
+TEST(DdPageRank, MatchesGraphBoltInitially) {
+  EdgeList list = GenerateRmat(400, 3000, {.seed = 140});
+  DdPageRank dd(list, 10);
+  dd.InitialCompute();
+  MutableGraph graph(list);
+  LigraEngine<PageRank> reference(&graph, PageRank{});
+  reference.Compute();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_NEAR(dd.ranks().at(v), reference.values()[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(DdPageRank, IncrementalMatchesRestart) {
+  EdgeList full = GenerateRmat(400, 3500, {.seed = 141});
+  StreamSplit split = SplitForStreaming(full, 0.5, 142);
+  DdPageRank dd(split.initial, 10);
+  dd.InitialCompute();
+
+  MutableGraph graph(split.initial);
+  LigraEngine<PageRank> reference(&graph, PageRank{});
+  reference.Compute();
+
+  UpdateStream stream(split.held_back, 143);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(graph, {.size = 30, .add_fraction = 0.6});
+    dd.ApplyUpdates(batch);
+    reference.ApplyMutations(batch);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_NEAR(dd.ranks().at(v), reference.values()[v], 1e-6)
+          << "round " << round << " vertex " << v;
+    }
+  }
+}
+
+TEST(DdSssp, MatchesGraphBoltInitially) {
+  EdgeList list = GenerateRmat(400, 3000, {.seed = 144, .assign_random_weights = true});
+  DdSssp dd(list, 0);
+  dd.InitialCompute();
+  MutableGraph graph(list);
+  GraphBoltEngine<Sssp> reference(&graph, Sssp(0),
+                                  {.max_iterations = 512, .run_to_convergence = true});
+  reference.InitialCompute();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto it = dd.distances().find(v);
+    const double dd_dist = it == dd.distances().end() ? kUnreachable : it->second;
+    const double ref = reference.values()[v];
+    if (ref >= kUnreachable) {
+      ASSERT_GE(dd_dist, kUnreachable) << "vertex " << v;
+    } else {
+      ASSERT_NEAR(dd_dist, ref, 1e-6) << "vertex " << v;
+    }
+  }
+}
+
+TEST(DdSssp, IncrementalMatchesReference) {
+  EdgeList full = GenerateRmat(300, 2500, {.seed = 145, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, 146);
+  DdSssp dd(split.initial, 0);
+  dd.InitialCompute();
+
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 147);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(graph, {.size = 20, .add_fraction = 0.5});
+    dd.ApplyUpdates(batch);
+    graph.ApplyBatch(batch);
+    MutableGraph fresh(graph.ToEdgeList());
+    GraphBoltEngine<Sssp> reference(&fresh, Sssp(0),
+                                    {.max_iterations = 512, .run_to_convergence = true});
+    reference.InitialCompute();
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const auto it = dd.distances().find(v);
+      const double dd_dist = it == dd.distances().end() ? kUnreachable : it->second;
+      const double ref = reference.values()[v];
+      if (ref >= kUnreachable) {
+        ASSERT_GE(dd_dist, kUnreachable) << "round " << round << " vertex " << v;
+      } else {
+        ASSERT_NEAR(dd_dist, ref, 1e-6) << "round " << round << " vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphbolt

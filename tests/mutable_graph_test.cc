@@ -1,0 +1,220 @@
+// Unit tests for MutableGraph: dual CSR/CSC consistency and batched
+// two-pass mutation (§4.1).
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/mutable_graph.h"
+#include "src/util/random.h"
+
+namespace graphbolt {
+namespace {
+
+MutableGraph Paper2a() {
+  // Figure 2a: 0->1, 1->2, 2->0, 2->1, 3->2, 3->4, 4->3.
+  EdgeList list;
+  list.set_num_vertices(5);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(2, 1);
+  list.Add(3, 2);
+  list.Add(3, 4);
+  list.Add(4, 3);
+  return MutableGraph(std::move(list));
+}
+
+TEST(MutableGraph, BuildConsistency) {
+  MutableGraph graph = Paper2a();
+  EXPECT_EQ(graph.num_vertices(), 5u);
+  EXPECT_EQ(graph.num_edges(), 7u);
+  EXPECT_TRUE(graph.CheckInvariants());
+  EXPECT_EQ(graph.OutDegree(2), 2u);
+  EXPECT_EQ(graph.InDegree(2), 2u);
+  EXPECT_EQ(graph.InDegree(1), 2u);
+}
+
+TEST(MutableGraph, ApplyBatchAddsEdge) {
+  MutableGraph graph = Paper2a();
+  // The paper's running mutation: add edge (1, 2)... already present; use
+  // (0, 2) instead plus the figure's GT addition (1->2 exists, add 0->3).
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Add(0, 3)});
+  ASSERT_EQ(applied.added.size(), 1u);
+  EXPECT_TRUE(applied.deleted.empty());
+  EXPECT_TRUE(graph.HasEdge(0, 3));
+  EXPECT_EQ(graph.InDegree(3), 2u);
+  EXPECT_TRUE(graph.CheckInvariants());
+}
+
+TEST(MutableGraph, ApplyBatchDeletesEdge) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Delete(2, 1)});
+  ASSERT_EQ(applied.deleted.size(), 1u);
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+  EXPECT_EQ(graph.num_edges(), 6u);
+  EXPECT_EQ(graph.InDegree(1), 1u);
+  EXPECT_TRUE(graph.CheckInvariants());
+}
+
+TEST(MutableGraph, AddExistingEdgeIsNoop) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Add(0, 1)});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_EQ(graph.num_edges(), 7u);
+}
+
+TEST(MutableGraph, DeleteAbsentEdgeIsNoop) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Delete(0, 4)});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_EQ(graph.num_edges(), 7u);
+}
+
+TEST(MutableGraph, SelfLoopMutationIgnored) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Add(2, 2)});
+  EXPECT_TRUE(applied.Empty());
+}
+
+TEST(MutableGraph, LastMutationWinsWithinBatch) {
+  MutableGraph graph = Paper2a();
+  // Add then delete the same absent edge: net no-op.
+  AppliedMutations applied =
+      graph.ApplyBatch({EdgeMutation::Add(0, 4), EdgeMutation::Delete(0, 4)});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_FALSE(graph.HasEdge(0, 4));
+  // Delete then add an existing edge: net no-op (edge stays).
+  applied = graph.ApplyBatch({EdgeMutation::Delete(0, 1), EdgeMutation::Add(0, 1)});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+}
+
+TEST(MutableGraph, MutationGrowsVertexSet) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Add(4, 9)});
+  EXPECT_EQ(graph.num_vertices(), 10u);
+  EXPECT_EQ(applied.added.size(), 1u);
+  EXPECT_TRUE(graph.HasEdge(4, 9));
+  EXPECT_EQ(graph.OutDegree(7), 0u);
+  EXPECT_TRUE(graph.CheckInvariants());
+}
+
+TEST(MutableGraph, AddVerticesExplicitly) {
+  MutableGraph graph = Paper2a();
+  const VertexId first = graph.AddVertices(3);
+  EXPECT_EQ(first, 5u);
+  EXPECT_EQ(graph.num_vertices(), 8u);
+  EXPECT_TRUE(graph.CheckInvariants());
+}
+
+TEST(MutableGraph, NormalizeBatchDoesNotMutate) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations normalized =
+      graph.NormalizeBatch({EdgeMutation::Add(0, 4), EdgeMutation::Delete(2, 1)});
+  EXPECT_EQ(normalized.added.size(), 1u);
+  EXPECT_EQ(normalized.deleted.size(), 1u);
+  EXPECT_EQ(graph.num_edges(), 7u);  // untouched
+  EXPECT_FALSE(graph.HasEdge(0, 4));
+}
+
+TEST(MutableGraph, DeletedEdgeReportsItsWeight) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1, 4.5f);
+  MutableGraph graph(std::move(list));
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::Delete(0, 1)});
+  ASSERT_EQ(applied.deleted.size(), 1u);
+  EXPECT_FLOAT_EQ(applied.deleted[0].weight, 4.5f);
+}
+
+TEST(MutableGraph, ToEdgeListRoundTrips) {
+  MutableGraph graph = Paper2a();
+  EdgeList exported = graph.ToEdgeList();
+  EXPECT_EQ(exported.num_edges(), 7u);
+  MutableGraph rebuilt(std::move(exported));
+  EXPECT_EQ(rebuilt.num_edges(), graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(rebuilt.OutDegree(v), graph.OutDegree(v));
+    EXPECT_EQ(rebuilt.InDegree(v), graph.InDegree(v));
+  }
+}
+
+TEST(MutableGraph, RandomizedMutationSequenceMatchesRebuild) {
+  // Apply 20 random batches; after each, the mutated graph must equal a
+  // graph rebuilt from scratch from its own edge list export.
+  EdgeList initial = GenerateErdosRenyi(60, 300, 5);
+  MutableGraph graph(initial);
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    MutationBatch batch;
+    for (int i = 0; i < 15; ++i) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(60));
+      const auto dst = static_cast<VertexId>(rng.NextBounded(60));
+      if (rng.NextDouble() < 0.5) {
+        batch.push_back(EdgeMutation::Add(src, dst));
+      } else {
+        batch.push_back(EdgeMutation::Delete(src, dst));
+      }
+    }
+    graph.ApplyBatch(batch);
+    ASSERT_TRUE(graph.CheckInvariants());
+    MutableGraph rebuilt(graph.ToEdgeList());
+    ASSERT_EQ(rebuilt.num_edges(), graph.num_edges());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(rebuilt.InDegree(v), graph.InDegree(v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(MutableGraph, InOutEdgeCountsAlwaysAgree) {
+  EdgeList initial = GenerateRmat(200, 1000, {.seed = 3});
+  MutableGraph graph(initial);
+  uint64_t out_total = 0;
+  uint64_t in_total = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out_total += graph.OutDegree(v);
+    in_total += graph.InDegree(v);
+  }
+  EXPECT_EQ(out_total, graph.num_edges());
+  EXPECT_EQ(in_total, graph.num_edges());
+}
+
+TEST(MutableGraph, UpdateWeightChangesWeightInPlace) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1, 2.0f);
+  MutableGraph graph(std::move(list));
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::UpdateWeight(0, 1, 5.0f)});
+  ASSERT_EQ(applied.deleted.size(), 1u);
+  ASSERT_EQ(applied.added.size(), 1u);
+  EXPECT_FLOAT_EQ(applied.deleted[0].weight, 2.0f);
+  EXPECT_FLOAT_EQ(applied.added[0].weight, 5.0f);
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(0, 1), 5.0f);
+  EXPECT_TRUE(graph.CheckInvariants());
+}
+
+TEST(MutableGraph, UpdateWeightOfAbsentEdgeIsNoop) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::UpdateWeight(0, 4, 3.0f)});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_FALSE(graph.HasEdge(0, 4));
+}
+
+TEST(MutableGraph, UpdateWeightToSameValueIsNoop) {
+  EdgeList list;
+  list.set_num_vertices(2);
+  list.Add(0, 1, 2.0f);
+  MutableGraph graph(std::move(list));
+  const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::UpdateWeight(0, 1, 2.0f)});
+  EXPECT_TRUE(applied.Empty());
+}
+
+TEST(MutableGraph, EmptyBatch) {
+  MutableGraph graph = Paper2a();
+  const AppliedMutations applied = graph.ApplyBatch({});
+  EXPECT_TRUE(applied.Empty());
+  EXPECT_EQ(graph.num_edges(), 7u);
+}
+
+}  // namespace
+}  // namespace graphbolt

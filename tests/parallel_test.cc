@@ -1,0 +1,165 @@
+// Unit tests for the parallel runtime: atomics, thread pool, parallel loops,
+// and reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/atomics.h"
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/reducer.h"
+#include "src/parallel/thread_pool.h"
+
+namespace graphbolt {
+namespace {
+
+TEST(Atomics, AddInteger) {
+  int64_t value = 10;
+  AtomicAdd(&value, int64_t{32});
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Atomics, AddDouble) {
+  double value = 1.5;
+  AtomicAdd(&value, 2.25);
+  EXPECT_DOUBLE_EQ(value, 3.75);
+}
+
+TEST(Atomics, MultiplyAndDivideRoundTrip) {
+  double value = 3.0;
+  AtomicMultiply(&value, 4.0);
+  EXPECT_DOUBLE_EQ(value, 12.0);
+  AtomicDivide(&value, 4.0);
+  EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+TEST(Atomics, MinUpdatesOnlyDownward) {
+  double value = 10.0;
+  EXPECT_TRUE(AtomicMin(&value, 5.0));
+  EXPECT_DOUBLE_EQ(value, 5.0);
+  EXPECT_FALSE(AtomicMin(&value, 7.0));
+  EXPECT_DOUBLE_EQ(value, 5.0);
+}
+
+TEST(Atomics, MaxUpdatesOnlyUpward) {
+  int value = 3;
+  EXPECT_TRUE(AtomicMax(&value, 9));
+  EXPECT_EQ(value, 9);
+  EXPECT_FALSE(AtomicMax(&value, 4));
+  EXPECT_EQ(value, 9);
+}
+
+TEST(Atomics, CasSucceedsAndFails) {
+  int value = 5;
+  EXPECT_TRUE(AtomicCas(&value, 5, 6));
+  EXPECT_EQ(value, 6);
+  EXPECT_FALSE(AtomicCas(&value, 5, 7));
+  EXPECT_EQ(value, 6);
+}
+
+TEST(Atomics, ConcurrentDoubleAddIsExactUnderReordering) {
+  // Adding 1.0 a million times from several threads: CAS-loop adds must not
+  // lose updates (1.0 increments are exactly representable).
+  double value = 0.0;
+  ParallelFor(0, 100000, [&value](size_t) { AtomicAdd(&value, 1.0); }, /*grain=*/64);
+  EXPECT_DOUBLE_EQ(value, 100000.0);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  ParallelFor(0, hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); }, /*grain=*/16);
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool ran = false;
+  ParallelFor(5, 5, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkedCoversRange) {
+  std::atomic<uint64_t> sum{0};
+  ParallelForChunks(0, 1000, [&sum](size_t lo, size_t hi) {
+    uint64_t local = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      local += i;
+    }
+    sum.fetch_add(local);
+  }, /*grain=*/7);
+  EXPECT_EQ(sum.load(), 999ull * 1000 / 2);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, [&total](size_t) {
+    ParallelFor(0, 8, [&total](size_t) { total.fetch_add(1); }, /*grain=*/1);
+  }, /*grain=*/1);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SetNumThreadsRebuilds) {
+  ThreadPool::SetNumThreads(2);
+  EXPECT_EQ(ThreadPool::Instance().num_threads(), 2u);
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, [&count](size_t) { count.fetch_add(1); }, /*grain=*/4);
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::SetNumThreads(1);
+  EXPECT_EQ(ThreadPool::Instance().num_threads(), 1u);
+  count = 0;
+  ParallelFor(0, 100, [&count](size_t) { count.fetch_add(1); }, /*grain=*/4);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ManySmallLoopsDoNotDeadlock) {
+  ThreadPool::SetNumThreads(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    ParallelFor(0, 64, [&count](size_t) { count.fetch_add(1); }, /*grain=*/1);
+    ASSERT_EQ(count.load(), 64);
+  }
+  ThreadPool::SetNumThreads(1);
+}
+
+TEST(Reducer, SumMatchesSerial) {
+  const uint64_t total = ParallelReduceSum<uint64_t>(0, 100000, [](size_t i) { return i; });
+  EXPECT_EQ(total, 99999ull * 100000 / 2);
+}
+
+TEST(Reducer, SumWithInit) {
+  const int total = ParallelReduceSum<int>(0, 10, [](size_t) { return 1; }, 100);
+  EXPECT_EQ(total, 110);
+}
+
+TEST(Reducer, MaxFindsMaximum) {
+  std::vector<int> data(5000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>((i * 2654435761u) % 100000);
+  }
+  const int expected = *std::max_element(data.begin(), data.end());
+  const int found =
+      ParallelReduceMax<int>(0, data.size(), [&data](size_t i) { return data[i]; }, -1);
+  EXPECT_EQ(found, expected);
+}
+
+TEST(Reducer, MaxOfEmptyRangeReturnsInit) {
+  EXPECT_EQ(ParallelReduceMax<int>(3, 3, [](size_t) { return 7; }, -5), -5);
+}
+
+TEST(Reducer, ExclusivePrefixSum) {
+  std::vector<uint64_t> values{3, 1, 4, 1, 5};
+  const uint64_t total = ExclusivePrefixSum(values);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(values, (std::vector<uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Reducer, ExclusivePrefixSumEmpty) {
+  std::vector<int> values;
+  EXPECT_EQ(ExclusivePrefixSum(values), 0);
+}
+
+}  // namespace
+}  // namespace graphbolt

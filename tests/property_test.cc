@@ -1,0 +1,220 @@
+// Property-based sweeps (parameterized gtest): for random graphs × batch
+// shapes × engine configurations, the invariant under test is always the
+// same — the incrementally maintained result equals a from-scratch run on
+// the final snapshot.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/sssp.h"
+#include "src/algorithms/triangle_counting.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+// ----- PageRank sweep: seed × batch size × add fraction -------------------------
+
+using PagerankParam = std::tuple<uint64_t /*seed*/, size_t /*batch*/, double /*add_fraction*/>;
+
+class PagerankSweep : public testing::TestWithParam<PagerankParam> {};
+
+TEST_P(PagerankSweep, RefinementEqualsRestart) {
+  const auto [seed, batch_size, add_fraction] = GetParam();
+  EdgeList full = GenerateRmat(500, 4000, {.seed = seed});
+  StreamSplit split = SplitForStreaming(full, 0.5, seed + 1);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, seed + 2);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch =
+        stream.NextBatch(g1, {.size = batch_size, .add_fraction = add_fraction});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7)
+        << "seed=" << seed << " batch=" << batch_size << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PagerankSweep,
+                         testing::Combine(testing::Values(201, 202, 203, 204),
+                                          testing::Values(1, 10, 100),
+                                          testing::Values(0.0, 0.5, 1.0)));
+
+// ----- History sweep: horizontal pruning depth ----------------------------------
+
+class HistorySweep : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(HistorySweep, HybridExecutionStaysExact) {
+  const uint32_t history = GetParam();
+  EdgeList full = GenerateRmat(500, 4000, {.seed = 210});
+  StreamSplit split = SplitForStreaming(full, 0.5, 211);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{}, {.max_iterations = 10, .history_size = history});
+  LigraEngine<PageRank> ligra(&g2, PageRank{}, {.max_iterations = 10});
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, 212);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.6});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7)
+        << "history=" << history << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HistorySweep, testing::Values(1u, 2u, 4u, 7u, 10u));
+
+// ----- Topology sweep: refinement across structural extremes ---------------------
+
+enum class Topology { kCycle, kChain, kStar, kGrid, kComplete };
+
+class TopologySweep : public testing::TestWithParam<Topology> {
+ protected:
+  static EdgeList Make(Topology t) {
+    switch (t) {
+      case Topology::kCycle:
+        return GenerateCycle(64);
+      case Topology::kChain:
+        return GenerateChain(64);
+      case Topology::kStar:
+        return GenerateStar(64);
+      case Topology::kGrid:
+        return GenerateGrid(8, 8);
+      case Topology::kComplete:
+        return GenerateComplete(16);
+    }
+    return {};
+  }
+};
+
+TEST_P(TopologySweep, PagerankRefinementEqualsRestart) {
+  EdgeList list = Make(GetParam());
+  MutableGraph g1(list);
+  MutableGraph g2(list);
+  GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
+  LigraEngine<PageRank> ligra(&g2, PageRank{});
+  bolt.InitialCompute();
+  ligra.Compute();
+  Rng rng(300);
+  for (int round = 0; round < 4; ++round) {
+    MutationBatch batch;
+    const VertexId n = g1.num_vertices();
+    for (int i = 0; i < 6; ++i) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(n));
+      const auto dst = static_cast<VertexId>(rng.NextBounded(n));
+      batch.push_back(rng.NextDouble() < 0.5 ? EdgeMutation::Add(src, dst)
+                                             : EdgeMutation::Delete(src, dst));
+    }
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-8) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TopologySweep,
+                         testing::Values(Topology::kCycle, Topology::kChain, Topology::kStar,
+                                         Topology::kGrid, Topology::kComplete));
+
+// ----- Triangle counting sweep ----------------------------------------------------
+
+using TriangleParam = std::tuple<uint64_t /*seed*/, size_t /*batch*/>;
+
+class TriangleSweep : public testing::TestWithParam<TriangleParam> {};
+
+TEST_P(TriangleSweep, IncrementalCountEqualsRecount) {
+  const auto [seed, batch_size] = GetParam();
+  EdgeList full = GenerateRmat(300, 3000, {.seed = seed});
+  StreamSplit split = SplitForStreaming(full, 0.5, seed + 1);
+  MutableGraph graph(split.initial);
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  UpdateStream stream(split.held_back, seed + 2);
+  for (int round = 0; round < 4; ++round) {
+    const MutationBatch batch = stream.NextBatch(graph, {.size = batch_size, .add_fraction = 0.55});
+    engine.ApplyMutations(batch);
+    ASSERT_EQ(engine.count(), CountTriangles(graph))
+        << "seed=" << seed << " batch=" << batch_size << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangleSweep,
+                         testing::Combine(testing::Values(220, 221, 222),
+                                          testing::Values(1, 20, 200)));
+
+// ----- SSSP sweep: sources × targeting ---------------------------------------------
+
+using SsspParam = std::tuple<VertexId /*source*/, MutationTargeting>;
+
+class SsspSweep : public testing::TestWithParam<SsspParam> {};
+
+TEST_P(SsspSweep, RefinementEqualsRestart) {
+  const auto [source, targeting] = GetParam();
+  EdgeList full = GenerateRmat(400, 3500, {.seed = 230, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, 231);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<Sssp> bolt(&g1, Sssp(source),
+                             {.max_iterations = 256, .run_to_convergence = true});
+  LigraEngine<Sssp> ligra(&g2, Sssp(source),
+                          {.max_iterations = 256, .run_to_convergence = true});
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, 232);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch =
+        stream.NextBatch(g1, {.size = 20, .add_fraction = 0.5, .targeting = targeting});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-9) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SsspSweep,
+                         testing::Combine(testing::Values(0u, 7u, 42u),
+                                          testing::Values(MutationTargeting::kUniform,
+                                                          MutationTargeting::kHighDegree,
+                                                          MutationTargeting::kLowDegree)));
+
+// ----- Label propagation sweep ------------------------------------------------------
+
+class LabelSweep : public testing::TestWithParam<double /*seed_fraction*/> {};
+
+TEST_P(LabelSweep, RefinementEqualsRestart) {
+  const double seed_fraction = GetParam();
+  EdgeList full = GenerateRmat(400, 3500, {.seed = 240, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, 241);
+  LabelPropagation<2> algo(full.num_vertices(), seed_fraction, 242);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<LabelPropagation<2>> bolt(&g1, algo);
+  LigraEngine<LabelPropagation<2>> ligra(&g2, algo);
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, 243);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), 1e-7)
+        << "fraction=" << seed_fraction << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, LabelSweep, testing::Values(0.0, 0.05, 0.25, 0.9));
+
+}  // namespace
+}  // namespace graphbolt

@@ -1,0 +1,134 @@
+// Unit tests for the update-stream construction (§5.1 methodology).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+
+namespace graphbolt {
+namespace {
+
+TEST(SplitForStreaming, PartitionsEdges) {
+  EdgeList full = GenerateErdosRenyi(100, 1000, 2);
+  StreamSplit split = SplitForStreaming(full, 0.5, 7);
+  EXPECT_EQ(split.initial.num_edges() + split.held_back.size(), 1000u);
+  EXPECT_EQ(split.initial.num_edges(), 500u);
+  EXPECT_EQ(split.initial.num_vertices(), 100u);
+}
+
+TEST(SplitForStreaming, DeterministicForSeed) {
+  EdgeList full = GenerateErdosRenyi(50, 200, 3);
+  StreamSplit a = SplitForStreaming(full, 0.6, 5);
+  StreamSplit b = SplitForStreaming(full, 0.6, 5);
+  ASSERT_EQ(a.held_back.size(), b.held_back.size());
+  for (size_t i = 0; i < a.held_back.size(); ++i) {
+    EXPECT_EQ(a.held_back[i].src, b.held_back[i].src);
+    EXPECT_EQ(a.held_back[i].dst, b.held_back[i].dst);
+  }
+}
+
+TEST(SplitForStreaming, FullFractionKeepsEverything) {
+  EdgeList full = GenerateErdosRenyi(30, 100, 4);
+  StreamSplit split = SplitForStreaming(full, 1.0, 1);
+  EXPECT_EQ(split.initial.num_edges(), 100u);
+  EXPECT_TRUE(split.held_back.empty());
+}
+
+TEST(UpdateStream, BatchHasRequestedSize) {
+  EdgeList full = GenerateErdosRenyi(200, 2000, 6);
+  StreamSplit split = SplitForStreaming(full, 0.5, 8);
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 9);
+  MutationBatch batch = stream.NextBatch(graph, {.size = 100, .add_fraction = 0.5});
+  // Deletions of sampled existing edges always succeed; additions come from
+  // the held-back pool. Batch size may drop slightly when an addition
+  // synthesis gives up, but not by much.
+  EXPECT_GE(batch.size(), 95u);
+  EXPECT_LE(batch.size(), 100u);
+}
+
+TEST(UpdateStream, AddFractionRespected) {
+  EdgeList full = GenerateErdosRenyi(200, 2000, 6);
+  StreamSplit split = SplitForStreaming(full, 0.5, 8);
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 10);
+  MutationBatch batch = stream.NextBatch(graph, {.size = 400, .add_fraction = 0.75});
+  size_t adds = 0;
+  for (const EdgeMutation& m : batch) {
+    adds += m.kind == MutationKind::kAddEdge;
+  }
+  EXPECT_GT(adds, batch.size() / 2);
+  EXPECT_LT(adds, batch.size());
+}
+
+TEST(UpdateStream, AllAdditionsDrainHeldBack) {
+  EdgeList full = GenerateErdosRenyi(100, 600, 2);
+  StreamSplit split = SplitForStreaming(full, 0.5, 3);
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 4);
+  const size_t before = stream.remaining_additions();
+  stream.NextBatch(graph, {.size = 50, .add_fraction = 1.0});
+  EXPECT_EQ(stream.remaining_additions(), before - 50);
+}
+
+TEST(UpdateStream, DeletionsReferenceExistingEdges) {
+  EdgeList full = GenerateErdosRenyi(100, 800, 5);
+  StreamSplit split = SplitForStreaming(full, 0.5, 6);
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 7);
+  MutationBatch batch = stream.NextBatch(graph, {.size = 200, .add_fraction = 0.0});
+  for (const EdgeMutation& m : batch) {
+    ASSERT_EQ(m.kind, MutationKind::kDeleteEdge);
+    EXPECT_TRUE(graph.HasEdge(m.src, m.dst)) << m.src << "->" << m.dst;
+  }
+}
+
+TEST(UpdateStream, HighDegreeTargetingAnchorsAtHubs) {
+  EdgeList full = GenerateRmat(2000, 20000, {.seed = 12});
+  StreamSplit split = SplitForStreaming(full, 0.8, 13);
+  MutableGraph graph(split.initial);
+  UpdateStream stream({}, 14);
+  MutationBatch batch = stream.NextBatch(
+      graph, {.size = 200, .add_fraction = 0.5, .targeting = MutationTargeting::kHighDegree});
+  const double avg = static_cast<double>(graph.num_edges()) / graph.num_vertices();
+  size_t hub_anchors = 0;
+  for (const EdgeMutation& m : batch) {
+    if (graph.OutDegree(m.dst) >= avg * 4.0) {
+      ++hub_anchors;
+    }
+  }
+  EXPECT_GT(hub_anchors, batch.size() / 2);
+}
+
+TEST(UpdateStream, LowDegreeTargetingAvoidsHubs) {
+  EdgeList full = GenerateRmat(2000, 20000, {.seed = 15});
+  StreamSplit split = SplitForStreaming(full, 0.8, 16);
+  MutableGraph graph(split.initial);
+  UpdateStream stream({}, 17);
+  MutationBatch batch = stream.NextBatch(
+      graph, {.size = 200, .add_fraction = 0.5, .targeting = MutationTargeting::kLowDegree});
+  const double avg = static_cast<double>(graph.num_edges()) / graph.num_vertices();
+  size_t tail_anchors = 0;
+  for (const EdgeMutation& m : batch) {
+    if (graph.OutDegree(m.dst) <= avg * 0.5 + 1) {
+      ++tail_anchors;
+    }
+  }
+  EXPECT_GT(tail_anchors, batch.size() * 3 / 4);
+}
+
+TEST(UpdateStream, StreamedBatchesApplyCleanly) {
+  EdgeList full = GenerateRmat(500, 5000, {.seed = 18});
+  StreamSplit split = SplitForStreaming(full, 0.5, 19);
+  MutableGraph graph(split.initial);
+  UpdateStream stream(split.held_back, 20);
+  for (int round = 0; round < 10; ++round) {
+    MutationBatch batch = stream.NextBatch(graph, {.size = 50, .add_fraction = 0.6});
+    graph.ApplyBatch(batch);
+    ASSERT_TRUE(graph.CheckInvariants());
+  }
+}
+
+}  // namespace
+}  // namespace graphbolt

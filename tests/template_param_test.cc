@@ -1,0 +1,78 @@
+// Template-parameter coverage: BeliefPropagation, CollaborativeFiltering
+// and LabelPropagation are class templates over state count / rank / label
+// count — each arity is a distinct instantiation of the whole engine stack,
+// so exercise several of them end to end.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/belief_propagation.h"
+#include "src/algorithms/collaborative_filtering.h"
+#include "src/algorithms/label_propagation.h"
+#include "src/algorithms/pagerank.h"
+#include "src/core/graphbolt_engine.h"
+#include "src/engine/ligra_engine.h"
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+#include "tests/test_util.h"
+
+namespace graphbolt {
+namespace {
+
+// Shared harness: initial + streamed equivalence against the restart.
+template <typename Algo>
+void CheckStreamEquivalence(Algo algo, double tolerance, uint64_t seed) {
+  EdgeList full = GenerateRmat(400, 3200, {.seed = seed, .assign_random_weights = true});
+  StreamSplit split = SplitForStreaming(full, 0.5, seed + 1);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  GraphBoltEngine<Algo> bolt(&g1, algo);
+  LigraEngine<Algo> ligra(&g2, algo);
+  bolt.InitialCompute();
+  ligra.Compute();
+  UpdateStream stream(split.held_back, seed + 2);
+  for (int round = 0; round < 3; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.6});
+    bolt.ApplyMutations(batch);
+    ligra.ApplyMutations(batch);
+    ASSERT_LT(MaxGap(bolt.values(), ligra.values()), tolerance) << "round " << round;
+  }
+}
+
+TEST(BeliefPropagationArity, TwoStates) {
+  CheckStreamEquivalence(BeliefPropagation<2>{}, 1e-6, 240);
+}
+
+TEST(BeliefPropagationArity, FourStates) {
+  CheckStreamEquivalence(BeliefPropagation<4>{}, 1e-6, 241);
+}
+
+TEST(BeliefPropagationArity, SixStates) {
+  CheckStreamEquivalence(BeliefPropagation<6>{}, 1e-6, 242);
+}
+
+TEST(CollaborativeFilteringRank, RankTwo) {
+  CheckStreamEquivalence(CollaborativeFiltering<2>{}, 1e-5, 243);
+}
+
+TEST(CollaborativeFilteringRank, RankSix) {
+  CheckStreamEquivalence(CollaborativeFiltering<6>{}, 1e-5, 244);
+}
+
+TEST(CollaborativeFilteringRank, RelaxedRankFour) {
+  CheckStreamEquivalence(CollaborativeFiltering<4>(0.05, 17, 1e-9, 0.3), 1e-5, 245);
+}
+
+TEST(LabelPropagationArity, FourLabels) {
+  CheckStreamEquivalence(LabelPropagation<4>(400, 0.1, 246), 1e-7, 247);
+}
+
+TEST(LabelPropagationArity, EightLabels) {
+  CheckStreamEquivalence(LabelPropagation<8>(400, 0.1, 248), 1e-7, 249);
+}
+
+TEST(PageRankDamping, LowAndHigh) {
+  CheckStreamEquivalence(PageRank(0.5), 1e-8, 250);
+  CheckStreamEquivalence(PageRank(0.95), 1e-7, 251);
+}
+
+}  // namespace
+}  // namespace graphbolt

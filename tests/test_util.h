@@ -1,0 +1,55 @@
+// Shared helpers for engine tests: value comparison across scalar and
+// array-valued algorithms, and differential checks between engines.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/types.h"
+
+namespace graphbolt {
+
+inline double ValueGap(double a, double b) { return std::fabs(a - b); }
+
+template <size_t N>
+double ValueGap(const std::array<double, N>& a, const std::array<double, N>& b) {
+  double gap = 0.0;
+  for (size_t i = 0; i < N; ++i) {
+    gap = std::max(gap, std::fabs(a[i] - b[i]));
+  }
+  return gap;
+}
+
+// Maximum elementwise gap between two value arrays.
+template <typename Value>
+double MaxGap(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) {
+    return 1e300;
+  }
+  double gap = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    gap = std::max(gap, ValueGap(a[i], b[i]));
+  }
+  return gap;
+}
+
+// The 5-vertex graph of Figure 2a in the paper.
+inline EdgeList PaperFigure2aGraph() {
+  EdgeList list;
+  list.set_num_vertices(5);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(2, 1);
+  list.Add(3, 2);
+  list.Add(3, 4);
+  list.Add(4, 3);
+  return list;
+}
+
+}  // namespace graphbolt
+
+#endif  // TESTS_TEST_UTIL_H_

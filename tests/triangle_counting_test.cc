@@ -1,0 +1,154 @@
+// Tests for static and incremental Triangle Counting.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/triangle_counting.h"
+#include "src/graph/generators.h"
+#include "src/stream/update_stream.h"
+
+namespace graphbolt {
+namespace {
+
+TEST(CountTriangles, EmptyGraphHasNone) {
+  MutableGraph graph(GenerateChain(5));
+  EXPECT_EQ(CountTriangles(graph), 0u);
+}
+
+TEST(CountTriangles, DirectedTriangle) {
+  // 0->1->2->0: term (u,v) counts w with w->u and v->w.
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  MutableGraph graph(std::move(list));
+  // For edge (0,1): in(0)={2}, out(1)={2} -> 1. Same for each edge: total 3.
+  EXPECT_EQ(CountTriangles(graph), 3u);
+}
+
+TEST(CountTriangles, CompleteGraphFormula) {
+  // In a complete digraph each ordered vertex triple (u,v,w) distinct forms
+  // a triangle through every edge: term(u,v) = n - 2 common neighbors, over
+  // n(n-1) edges.
+  const VertexId n = 6;
+  MutableGraph graph(GenerateComplete(n));
+  EXPECT_EQ(CountTriangles(graph), static_cast<uint64_t>(n) * (n - 1) * (n - 2));
+}
+
+TEST(CountTriangles, StatsCountScans) {
+  MutableGraph graph(GenerateComplete(5));
+  EngineStats stats;
+  CountTriangles(graph, &stats);
+  EXPECT_GT(stats.edges_processed, 0u);
+}
+
+TEST(TriangleEngine, InitialMatchesStandalone) {
+  MutableGraph graph(GenerateRmat(300, 3000, {.seed = 120}));
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  EXPECT_EQ(engine.count(), CountTriangles(graph));
+}
+
+TEST(TriangleEngine, AdditionCreatesTriangles) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  MutableGraph graph(std::move(list));
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  EXPECT_EQ(engine.count(), 0u);
+  engine.ApplyMutations({EdgeMutation::Add(2, 0)});
+  EXPECT_EQ(engine.count(), 3u);
+}
+
+TEST(TriangleEngine, DeletionRemovesTriangles) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  MutableGraph graph(std::move(list));
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  EXPECT_EQ(engine.count(), 3u);
+  engine.ApplyMutations({EdgeMutation::Delete(1, 2)});
+  EXPECT_EQ(engine.count(), 0u);
+}
+
+TEST(TriangleEngine, MixedBatchMatchesRecount) {
+  EdgeList full = GenerateRmat(400, 4000, {.seed = 121});
+  StreamSplit split = SplitForStreaming(full, 0.5, 122);
+  MutableGraph graph(split.initial);
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+
+  UpdateStream stream(split.held_back, 123);
+  for (int round = 0; round < 10; ++round) {
+    const MutationBatch batch = stream.NextBatch(graph, {.size = 50, .add_fraction = 0.6});
+    engine.ApplyMutations(batch);
+    ASSERT_EQ(engine.count(), CountTriangles(graph)) << "round " << round;
+  }
+}
+
+TEST(TriangleEngine, DenseNeighborhoodBatch) {
+  // Mutations inside a clique where every edge participates in many terms.
+  MutableGraph graph(GenerateComplete(8));
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  const MutationBatch batch{
+      EdgeMutation::Delete(0, 1), EdgeMutation::Delete(1, 0), EdgeMutation::Delete(2, 3),
+      EdgeMutation::Add(0, 1),  // re-add within the same batch: net only 1->0, 2->3 gone
+  };
+  engine.ApplyMutations(batch);
+  EXPECT_EQ(engine.count(), CountTriangles(graph));
+}
+
+TEST(TriangleEngine, NewVertexEdges) {
+  MutableGraph graph(GenerateComplete(4));
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  engine.ApplyMutations({EdgeMutation::Add(0, 9), EdgeMutation::Add(9, 1)});
+  EXPECT_EQ(engine.count(), CountTriangles(graph));
+}
+
+TEST(TriangleEngine, ProcessesFarFewerEntriesThanRecount) {
+  EdgeList full = GenerateRmat(2000, 20000, {.seed = 124});
+  StreamSplit split = SplitForStreaming(full, 0.8, 125);
+  MutableGraph graph(split.initial);
+  TriangleCountingEngine engine(&graph);
+  engine.InitialCompute();
+  const uint64_t full_scan = engine.stats().edges_processed;
+
+  UpdateStream stream(split.held_back, 126);
+  // A small batch touches only terms local to the mutated endpoints. On a
+  // heavily skewed 20K-vertex graph a hub endpoint still drags in many
+  // terms, so the expected saving at this scale is a constant factor; at the
+  // paper's billion-edge scale it is orders of magnitude (Table 7).
+  const MutationBatch batch = stream.NextBatch(
+      graph, {.size = 10, .add_fraction = 0.5, .targeting = MutationTargeting::kLowDegree});
+  engine.ApplyMutations(batch);
+  EXPECT_LT(engine.stats().edges_processed, full_scan / 2);
+}
+
+TEST(TriangleResetEngine, MatchesIncrementalEngine) {
+  EdgeList full = GenerateRmat(300, 3000, {.seed = 127});
+  StreamSplit split = SplitForStreaming(full, 0.5, 128);
+  MutableGraph g1(split.initial);
+  MutableGraph g2(split.initial);
+  TriangleCountingEngine incremental(&g1);
+  TriangleCountingResetEngine reset(&g2);
+  incremental.InitialCompute();
+  reset.InitialCompute();
+  EXPECT_EQ(incremental.count(), reset.count());
+
+  UpdateStream stream(split.held_back, 129);
+  for (int round = 0; round < 5; ++round) {
+    const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});
+    incremental.ApplyMutations(batch);
+    reset.ApplyMutations(batch);
+    ASSERT_EQ(incremental.count(), reset.count()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace graphbolt
