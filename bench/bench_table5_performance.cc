@@ -40,7 +40,7 @@ Cell RunCell(const StreamSplit& split, const Algo& algo, const std::vector<Mutat
   {
     MutableGraph graph(split.initial);
     LigraEngine<Algo> engine(&graph, algo);
-    cell.ligra = RunStreamingLigra(engine, batches).avg_batch_seconds;
+    cell.ligra = RunStreaming(engine, batches).avg_batch_seconds;
   }
   {
     MutableGraph graph(split.initial);

@@ -32,7 +32,7 @@ Row RunRow(const StreamSplit& split, const Algo& algo, const std::vector<Mutatio
   {
     MutableGraph graph(split.initial);
     LigraEngine<Algo> engine(&graph, algo);
-    row.ligra = RunStreamingLigra(engine, batches).avg_batch_seconds;
+    row.ligra = RunStreaming(engine, batches).avg_batch_seconds;
   }
   {
     MutableGraph graph(split.initial);

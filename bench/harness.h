@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/streaming_engine.h"
 #include "src/engine/stats.h"
 #include "src/graph/generators.h"
 #include "src/graph/mutable_graph.h"
@@ -78,10 +79,12 @@ struct StreamingResult {
   uint64_t avg_edges = 0;
 };
 
-// Runs `engine` over the batches; Engine must expose InitialCompute/
-// ApplyMutations/stats. The engine's own graph must already hold the
-// initial snapshot.
-template <typename Engine>
+// Runs `engine` over the batches. Constrained on the BatchEngine concept
+// (src/core/streaming_engine.h) rather than duck typing, so every engine —
+// including the Ligra/Reset baselines via their canonical InitialCompute
+// and the scalar-result triangle-counting engines — goes through this one
+// helper. The engine's own graph must already hold the initial snapshot.
+template <BatchEngine Engine>
 StreamingResult RunStreaming(Engine& engine, const std::vector<MutationBatch>& batches) {
   StreamingResult result;
   engine.InitialCompute();
@@ -98,25 +101,6 @@ StreamingResult RunStreaming(Engine& engine, const std::vector<MutationBatch>& b
   const double n = static_cast<double>(batches.size());
   result.avg_batch_seconds = total_seconds / n;
   result.avg_mutation_seconds = total_mutation / n;
-  result.avg_edges = static_cast<uint64_t>(static_cast<double>(total_edges) / n);
-  return result;
-}
-
-// Ligra engines expose Compute() instead of InitialCompute(); adapt.
-template <typename Engine>
-StreamingResult RunStreamingLigra(Engine& engine, const std::vector<MutationBatch>& batches) {
-  StreamingResult result;
-  engine.Compute();
-  result.initial_seconds = engine.stats().seconds;
-  double total_seconds = 0.0;
-  uint64_t total_edges = 0;
-  for (const MutationBatch& batch : batches) {
-    engine.ApplyMutations(batch);
-    total_seconds += engine.stats().seconds;
-    total_edges += engine.stats().edges_processed;
-  }
-  const double n = static_cast<double>(batches.size());
-  result.avg_batch_seconds = total_seconds / n;
   result.avg_edges = static_cast<uint64_t>(static_cast<double>(total_edges) / n);
   return result;
 }

@@ -114,6 +114,8 @@ class GraphBoltEngine {
 
   // Applies the batch to the graph, refines the dependency store, and
   // continues computation to produce the new snapshot's final values.
+  // Stats lifecycle (identical across engines, see stats.h): mutation timed
+  // first, then Clear(), then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
     Timer mutation_timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);

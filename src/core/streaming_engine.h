@@ -1,0 +1,73 @@
+// The engine concepts: the unified API surface every processing engine in
+// this repository exposes to streaming infrastructure.
+//
+// Two layers:
+//
+//   BatchEngine      the compute lifecycle — anything that can be driven
+//                    batch by batch and timed (the bench harness needs no
+//                    more). The triangle-counting engines live here: their
+//                    result is a scalar count, not per-vertex values.
+//   StreamingEngine  a BatchEngine that also exposes per-vertex values();
+//                    what StreamDriver and differential tests require.
+//
+// Four engines satisfy StreamingEngine — LigraEngine (restart), ResetEngine
+// (delta + restart), GraphBoltEngine (dependency-driven refinement), and
+// KickStarterEngine (dependence-tree correction) — and `src/graphbolt.h`
+// statically asserts that they keep doing so. Anything generic over an
+// engine constrains on these concepts instead of duck typing, so a drifted
+// signature is a compile error at the definition site rather than a
+// template-instantiation stack.
+//
+// The contract:
+//
+//   InitialCompute()   runs the full computation from initial values on the
+//                      current graph snapshot (canonical entry point; the
+//                      Ligra-style engines keep Compute() as a deprecated
+//                      alias).
+//   ApplyMutations(b)  applies the batch to the graph and brings the result
+//                      to exactly the new snapshot's, returning the
+//                      normalized (Ea, Ed) effect.
+//   values()           the per-vertex results of the latest snapshot.
+//   stats()            EngineStats for the most recent compute/refine call
+//                      (see stats.h for the Clear() lifecycle).
+//
+// Engines are NOT internally synchronized: InitialCompute/ApplyMutations
+// must not run concurrently with each other or with values()/stats()
+// readers. StreamDriver (src/driver/stream_driver.h) provides that
+// serialization for concurrent producers.
+#ifndef SRC_CORE_STREAMING_ENGINE_H_
+#define SRC_CORE_STREAMING_ENGINE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <ranges>
+#include <type_traits>
+#include <utility>
+
+#include "src/engine/stats.h"
+#include "src/graph/mutation.h"
+
+namespace graphbolt {
+
+template <typename E>
+concept BatchEngine =
+    requires(E engine, const E& const_engine, const MutationBatch& batch) {
+      engine.InitialCompute();
+      { engine.ApplyMutations(batch) } -> std::same_as<AppliedMutations>;
+      { const_engine.stats() } -> std::same_as<const EngineStats&>;
+    };
+
+template <typename E>
+concept StreamingEngine =
+    BatchEngine<E> && requires(const E& const_engine) {
+      { const_engine.values() } -> std::ranges::random_access_range;
+      { const_engine.values().size() } -> std::convertible_to<size_t>;
+    };
+
+// The per-vertex value type an engine computes, as seen through values().
+template <typename E>
+using EngineValueT = std::remove_cvref_t<decltype(std::declval<const E&>().values()[0])>;
+
+}  // namespace graphbolt
+
+#endif  // SRC_CORE_STREAMING_ENGINE_H_

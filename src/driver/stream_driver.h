@@ -1,0 +1,318 @@
+// StreamDriver: the pipelined ingestion front-end that turns a batch engine
+// into a streaming service.
+//
+// The engines in this repository are synchronous: callers hand-build a
+// MutationBatch and block on ApplyMutations. The driver decouples the three
+// phases so they overlap (the GraphSketchDriver / GutteringSystem /
+// WorkerThreadGroup split of GraphZeppelin, adapted to one global BSP
+// engine):
+//
+//   producers ──Ingest──► GutterBuffer ──flush──► BoundedQueue ──► worker
+//   (any threads)         (batch by size           (backpressure)   thread
+//                          or staleness)                            applies
+//                                                                   batches
+//
+// - Any number of producer threads Ingest() individual edge mutations; the
+//   gutter absorbs them and flushes a batch when it reaches
+//   `Options::batch_size` or has been sitting for
+//   `Options::flush_interval_seconds`.
+// - Flushed batches travel through a bounded queue to a single background
+//   worker that calls the engine's ApplyMutations. The bound is the
+//   backpressure mechanism: when refinement falls behind ingestion,
+//   producers block inside Ingest (or batches are shed, under
+//   OverflowPolicy::kDropNewest), so memory stays bounded.
+// - PrepQuery() is the query barrier: it flushes the gutter, waits until
+//   every flushed batch has been applied, and returns — after which
+//   values() is an exact BSP snapshot (what a from-scratch run on the
+//   current graph would produce). When nothing is buffered or in flight the
+//   barrier is a cached-query fast path: one mutex acquisition, no waiting.
+// - Stop() (also the destructor) drains: ingestion closes, the gutter's
+//   remainder is flushed, the worker applies everything queued and joins.
+//   Mutations ingested after Stop are counted dropped, never lost silently.
+//
+// Ordering semantics: mutations from one producer thread are applied in
+// their ingest order. Mutations racing on different producers have no
+// defined global order — whole batches may interleave — which is
+// indistinguishable from some legal arrival order of those producers.
+//
+// The engine is never accessed concurrently: the worker serializes every
+// ApplyMutations, and the query paths synchronize with it. QuerySnapshot()
+// is safe at any time from any thread; values() returns a reference into
+// the engine and is meant for quiescent callers (after PrepQuery returns
+// and while no concurrent producer can trigger a flush, e.g. single-
+// producer loops or after Stop).
+#ifndef SRC_DRIVER_STREAM_DRIVER_H_
+#define SRC_DRIVER_STREAM_DRIVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/streaming_engine.h"
+#include "src/driver/gutter_buffer.h"
+#include "src/engine/stats.h"
+#include "src/graph/mutation.h"
+#include "src/parallel/bounded_queue.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+template <StreamingEngine Engine>
+class StreamDriver {
+ public:
+  using Value = EngineValueT<Engine>;
+
+  // What to do with a flushed batch when the pending queue is full.
+  enum class OverflowPolicy {
+    kBlock,       // block the flushing producer (lossless backpressure)
+    kDropNewest,  // shed the batch, counting stats().mutations_dropped
+  };
+
+  struct Options {
+    // Gutter flush threshold: mutations per batch handed to the engine.
+    size_t batch_size = 1024;
+    // A non-full gutter flushes once its oldest mutation is this stale.
+    double flush_interval_seconds = 0.05;
+    // Capacity of the flushed-batch queue; the backpressure bound.
+    size_t max_pending_batches = 4;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    // Keep only the last mutation per (src, dst) within a flush — exactly
+    // the mutations MutableGraph::NormalizeBatch would honor anyway.
+    bool coalesce = true;
+  };
+
+  // The engine must outlive the driver and already hold the initial
+  // snapshot; run engine->InitialCompute() before ingesting.
+  explicit StreamDriver(Engine* engine, Options options = {})
+      : engine_(engine), options_(options), queue_(options.max_pending_batches) {
+    GB_CHECK(options_.batch_size >= 1) << "batch_size must be >= 1";
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+
+  ~StreamDriver() { Stop(); }
+
+  StreamDriver(const StreamDriver&) = delete;
+  StreamDriver& operator=(const StreamDriver&) = delete;
+
+  // Thread-safe. Blocks only when a flush hits a full queue under kBlock.
+  // Returns false (and counts the mutation dropped) after Stop().
+  bool Ingest(const EdgeMutation& mutation) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!accepting_) {
+      ++stats_.mutations_dropped;
+      return false;
+    }
+    gutter_.Add(mutation);
+    ++stats_.mutations_enqueued;
+    if (gutter_.size() >= options_.batch_size) {
+      FlushLocked(lock);
+    }
+    return true;
+  }
+
+  // Ingests a pre-built batch mutation by mutation (flush boundaries still
+  // follow Options::batch_size). Returns how many were accepted.
+  size_t IngestBatch(const MutationBatch& batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t accepted = 0;
+    for (const EdgeMutation& mutation : batch) {
+      if (!accepting_) {  // re-checked: FlushLocked releases the lock
+        stats_.mutations_dropped += batch.size() - accepted;
+        break;
+      }
+      gutter_.Add(mutation);
+      ++stats_.mutations_enqueued;
+      ++accepted;
+      if (gutter_.size() >= options_.batch_size) {
+        FlushLocked(lock);
+      }
+    }
+    return accepted;
+  }
+
+  // Hands the gutter's current contents (a partial batch) to the worker.
+  void Flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    FlushLocked(lock);
+  }
+
+  // Query barrier: flush + drain. On return every mutation flushed before
+  // the call has been applied, so the engine holds an exact BSP snapshot.
+  // Returns false when the fast path hit (nothing was buffered or in
+  // flight — the previous snapshot is still current).
+  bool PrepQuery() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (gutter_.empty() && in_flight_ == 0) {
+      return false;  // cached-query fast path
+    }
+    FlushLocked(lock);
+    drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    return true;
+  }
+
+  // Barrier + reference to the engine's values. The reference is an exact
+  // BSP snapshot at return; it stays valid but may be rewritten once
+  // another producer triggers a flush — see the header comment.
+  const std::vector<Value>& values() {
+    PrepQuery();
+    return engine_->values();
+  }
+
+  // Barrier + copy, safe under concurrent ingestion from other threads.
+  std::vector<Value> QuerySnapshot() {
+    PrepQuery();
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    return engine_->values();
+  }
+
+  // Cumulative driver statistics (see stats.h: engine fields are summed
+  // over applied batches; driver fields count since construction).
+  EngineStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  // Mutations currently buffered in the gutter (not yet flushed).
+  size_t pending_mutations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gutter_.size();
+  }
+
+  // Drains and shuts down: stops accepting, flushes the gutter remainder,
+  // waits for the worker to apply everything queued, joins it. Idempotent;
+  // called by the destructor.
+  void Stop() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_) {
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      accepting_ = false;
+      FlushLocked(lock);
+    }
+    queue_.Close();
+    worker_.join();
+    stopped_ = true;
+  }
+
+ private:
+  struct TimedBatch {
+    MutationBatch batch;
+    Timer since_flush;  // epoch set at flush; read when the apply finishes
+  };
+
+  // Takes the gutter as a batch and moves it toward the worker. Caller
+  // holds `lock`; the queue handoff happens unlocked so a blocked push
+  // stalls only the flushing producer, never the worker's bookkeeping.
+  // in_flight_ covers the unlocked window, keeping the batch visible to
+  // PrepQuery and to the worker's stale-flush check throughout.
+  void FlushLocked(std::unique_lock<std::mutex>& lock) {
+    if (gutter_.empty()) {
+      return;
+    }
+    TimedBatch item;
+    item.batch = gutter_.Take(options_.coalesce, &stats_.mutations_coalesced);
+    item.since_flush.Reset();
+    const size_t mutations = item.batch.size();
+    ++in_flight_;
+    lock.unlock();
+    bool pushed = false;
+    double waited = 0.0;
+    if (options_.overflow == OverflowPolicy::kDropNewest) {
+      pushed = queue_.TryPush(std::move(item));
+    } else if (!queue_.TryPush(std::move(item))) {
+      Timer wait;  // full: this block is the backpressure producers feel
+      pushed = queue_.Push(std::move(item));
+      waited = wait.Seconds();
+    } else {
+      pushed = true;
+    }
+    lock.lock();
+    stats_.queue_wait_seconds += waited;
+    if (!pushed) {  // shed (kDropNewest) or interrupted by shutdown
+      stats_.mutations_dropped += mutations;
+      if (--in_flight_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    const auto poll = std::chrono::duration<double>(options_.flush_interval_seconds);
+    for (;;) {
+      std::optional<TimedBatch> item = queue_.PopFor(poll);
+      if (item.has_value()) {
+        ApplyOne(std::move(*item));
+        continue;
+      }
+      if (queue_.closed()) {
+        if (queue_.Empty()) {
+          break;
+        }
+        continue;
+      }
+      // Poll timeout with no pending work anywhere: flush a stale gutter
+      // and apply it directly. Never through the queue — the worker must
+      // not block behind itself — and only when in_flight_ == 0, so the
+      // gutter's contents are strictly newer than anything already formed
+      // and ordering is preserved.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (in_flight_ == 0 && !gutter_.empty() &&
+          gutter_.AgeSeconds() >= options_.flush_interval_seconds) {
+        TimedBatch stale;
+        stale.batch = gutter_.Take(options_.coalesce, &stats_.mutations_coalesced);
+        stale.since_flush.Reset();
+        ++in_flight_;
+        lock.unlock();
+        ApplyOne(std::move(stale));
+      }
+    }
+  }
+
+  void ApplyOne(TimedBatch item) {
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      engine_->ApplyMutations(item.batch);
+    }
+    const EngineStats& applied = engine_->stats();  // worker is the sole engine writer
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches_applied;
+    stats_.seconds += applied.seconds;
+    stats_.mutation_seconds += applied.mutation_seconds;
+    stats_.edges_processed += applied.edges_processed;
+    stats_.iterations += applied.iterations;
+    stats_.flush_latency_seconds += item.since_flush.Seconds();
+    if (--in_flight_ == 0) {
+      drained_cv_.notify_all();
+    }
+  }
+
+  Engine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;  // guards gutter_, stats_, in_flight_, accepting_
+  std::condition_variable drained_cv_;
+  GutterBuffer gutter_;
+  EngineStats stats_;
+  // Batches taken from the gutter but not yet applied (queued, mid-push,
+  // or being applied). PrepQuery waits for this to reach zero.
+  size_t in_flight_ = 0;
+  bool accepting_ = true;
+
+  std::mutex engine_mu_;  // held while the engine is applied or snapshotted
+  BoundedQueue<TimedBatch> queue_;
+  std::thread worker_;
+
+  std::mutex stop_mu_;  // serializes Stop callers; guards stopped_
+  bool stopped_ = false;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_DRIVER_STREAM_DRIVER_H_

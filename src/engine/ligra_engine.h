@@ -36,8 +36,9 @@ class LigraEngine {
   LigraEngine(MutableGraph* graph, Algo algo, Options options = {})
       : graph_(graph), algo_(std::move(algo)), options_(options) {}
 
-  // Runs the full synchronous computation from initial values.
-  void Compute() {
+  // Runs the full synchronous computation from initial values. Canonical
+  // entry point of the StreamingEngine API (src/core/streaming_engine.h).
+  void InitialCompute() {
     Timer timer;
     stats_.Clear();
     contexts_ = ComputeVertexContexts(*graph_);
@@ -58,15 +59,19 @@ class LigraEngine {
     stats_.seconds = timer.Seconds();
   }
 
-  // Uniform engine API (matches GraphBoltEngine::InitialCompute).
-  void InitialCompute() { Compute(); }
+  // Deprecated alias for InitialCompute(), kept for the Ligra-style name
+  // that early callers used. New code should call InitialCompute().
+  void Compute() { InitialCompute(); }
 
   // Applies the batch to the graph and recomputes from scratch.
+  // Stats lifecycle (identical across engines, see stats.h): the mutation
+  // is timed first, the recompute clears stats, then mutation_seconds is
+  // assigned — stats() describes exactly this call.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
     Timer timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = timer.Seconds();
-    Compute();
+    InitialCompute();
     stats_.mutation_seconds = mutation_seconds;
     return applied;
   }

@@ -62,7 +62,8 @@ class ResetEngine {
       : graph_(graph), algo_(std::move(algo)), options_(options) {}
 
   // Runs the computation from initial values with selective scheduling.
-  void Compute() {
+  // Canonical entry point of the StreamingEngine API.
+  void InitialCompute() {
     Timer timer;
     stats_.Clear();
     contexts_ = ComputeVertexContexts(*graph_);
@@ -87,14 +88,17 @@ class ResetEngine {
     stats_.seconds = timer.Seconds();
   }
 
-  // Uniform engine API (matches GraphBoltEngine::InitialCompute).
-  void InitialCompute() { Compute(); }
+  // Deprecated alias for InitialCompute(), kept for the Ligra-style name
+  // that early callers used. New code should call InitialCompute().
+  void Compute() { InitialCompute(); }
 
+  // Stats lifecycle (identical across engines, see stats.h): mutation timed
+  // first, recompute clears, then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
     Timer timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = timer.Seconds();
-    Compute();
+    InitialCompute();
     stats_.mutation_seconds = mutation_seconds;
     return applied;
   }

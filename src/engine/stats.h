@@ -1,6 +1,19 @@
 // Execution statistics reported by every engine. The Figure 6 / Table 7
 // benches compare `edges_processed` between GraphBolt and GB-Reset; the
 // timing tables read `seconds`.
+//
+// Lifecycle contract (identical across all four engines): every
+// InitialCompute/ApplyMutations call starts by calling Clear(), so stats()
+// always describes the *most recent* call only — the fields never
+// accumulate across calls. ApplyMutations times the structural mutation
+// first, then clears, then assigns `mutation_seconds`, so the mutation
+// timing of the current batch is never lost to its own Clear().
+//
+// StreamDriver (src/driver/stream_driver.h) reports through the same
+// struct but with the opposite lifecycle: its stats are *cumulative* over
+// the driver's lifetime (engine fields summed across applied batches,
+// driver fields counted since construction). Bare engines leave the driver
+// block zero.
 #ifndef SRC_ENGINE_STATS_H_
 #define SRC_ENGINE_STATS_H_
 
@@ -19,6 +32,25 @@ struct EngineStats {
   double seconds = 0.0;
   // Wall-clock seconds spent applying the structural mutation.
   double mutation_seconds = 0.0;
+
+  // ----- Driver-level counters (populated by StreamDriver only) -----------
+  // Batches handed to the engine's ApplyMutations by the worker.
+  uint64_t batches_applied = 0;
+  // Individual mutations accepted by Ingest/IngestBatch.
+  uint64_t mutations_enqueued = 0;
+  // Mutations removed by gutter coalescing (superseded by a later mutation
+  // of the same (src, dst) pair within one flush, matching the last-wins
+  // semantics of MutableGraph::NormalizeBatch).
+  uint64_t mutations_coalesced = 0;
+  // Mutations discarded without reaching the engine: ingested after Stop(),
+  // or shed by the kDropNewest overflow policy.
+  uint64_t mutations_dropped = 0;
+  // Producer wall-clock seconds spent blocked on bounded-queue
+  // backpressure (summed across producers).
+  double queue_wait_seconds = 0.0;
+  // Seconds from a batch leaving the gutter to its application completing
+  // (summed across batches; divide by batches_applied for the mean).
+  double flush_latency_seconds = 0.0;
 
   void Clear() { *this = EngineStats{}; }
 };

@@ -9,6 +9,13 @@
 //   engine.InitialCompute();
 //   engine.ApplyMutations({graphbolt::EdgeMutation::Add(1, 2)});
 //   const auto& ranks = engine.values();
+//
+// Or, for concurrent ingestion with pipelined batching (any engine
+// satisfying the StreamingEngine concept):
+//
+//   graphbolt::StreamDriver<decltype(engine)> driver(&engine);
+//   driver.Ingest(graphbolt::EdgeMutation::Add(1, 2));   // from any thread
+//   const auto& fresh = driver.values();                 // exact BSP snapshot
 #ifndef SRC_GRAPHBOLT_H_
 #define SRC_GRAPHBOLT_H_
 
@@ -26,6 +33,8 @@
 #include "src/core/algorithm.h"
 #include "src/core/compact_dependency_store.h"
 #include "src/core/graphbolt_engine.h"
+#include "src/core/streaming_engine.h"
+#include "src/driver/stream_driver.h"
 #include "src/engine/edge_map.h"
 #include "src/engine/ligra_engine.h"
 #include "src/engine/reset_engine.h"
@@ -37,5 +46,22 @@
 #include "src/kickstarter/kickstarter_engine.h"
 #include "src/minidd/dataflow.h"
 #include "src/stream/update_stream.h"
+
+namespace graphbolt {
+
+// The four engines are the StreamingEngine API surface; a signature drift
+// in any of them fails here, at the definition of the public API, rather
+// than deep inside a template instantiation.
+static_assert(StreamingEngine<LigraEngine<PageRank>>);
+static_assert(StreamingEngine<ResetEngine<PageRank>>);
+static_assert(StreamingEngine<GraphBoltEngine<PageRank>>);
+static_assert(StreamingEngine<KickStarterEngine<KsSsspTraits>>);
+// The triangle-counting engines produce a scalar count, not per-vertex
+// values: batch-drivable (harnesses, timing) but not stream-queryable.
+static_assert(BatchEngine<TriangleCountingEngine> &&
+              !StreamingEngine<TriangleCountingEngine>);
+static_assert(BatchEngine<TriangleCountingResetEngine>);
+
+}  // namespace graphbolt
 
 #endif  // SRC_GRAPHBOLT_H_

@@ -60,11 +60,15 @@ class KickStarterEngine {
   }
 
   // Applies the batch and incrementally corrects values.
+  // Stats lifecycle (identical across engines, see stats.h): the mutation
+  // is timed first, then Clear(), then mutation_seconds is assigned — so
+  // stats() describes exactly this call, like the other three engines.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
-    stats_.Clear();
     Timer mutation_timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
-    stats_.mutation_seconds = mutation_timer.Seconds();
+    const double mutation_seconds = mutation_timer.Seconds();
+    stats_.Clear();
+    stats_.mutation_seconds = mutation_seconds;
 
     Timer timer;
     const VertexId n = graph_->num_vertices();
