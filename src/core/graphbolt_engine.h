@@ -157,18 +157,15 @@ class GraphBoltEngine {
     return ApplyMutations(batch);
   }
 
-  // Persists the engine's computed state (values + dependency store) so a
-  // streaming session can resume in a fresh process. The graph itself is
-  // saved separately (src/graph/io.h); LoadState must be called on an
-  // engine whose graph already holds the same snapshot. Returns false on IO
-  // failure or mismatched state.
-  bool SaveState(const std::string& path) const {
+  // Streams the engine's computed state (values + dependency store) so a
+  // streaming session can resume in a fresh process — or so a Checkpointer
+  // (src/fault/checkpoint.h) can embed it in a checkpoint file. The graph
+  // itself is saved separately; LoadStateFrom must be called on an engine
+  // whose graph already holds the same snapshot (contexts are recomputed
+  // from it). Mutations buffered via EnqueueMutations are not part of the
+  // persisted state. Returns false on IO failure or mismatched state.
+  bool SaveStateTo(std::ostream& out) const {
     static_assert(std::is_trivially_copyable_v<Value>);
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-      GB_LOG(kError) << "cannot open " << path << " for writing";
-      return false;
-    }
     const uint64_t magic = kStateMagic;
     const uint64_t n = values_.size();
     out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
@@ -179,18 +176,13 @@ class GraphBoltEngine {
     return static_cast<bool>(out);
   }
 
-  bool LoadState(const std::string& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      GB_LOG(kError) << "cannot open " << path;
-      return false;
-    }
+  bool LoadStateFrom(std::istream& in) {
     uint64_t magic = 0;
     uint64_t n = 0;
     in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
     in.read(reinterpret_cast<char*>(&n), sizeof(n));
     if (!in || magic != kStateMagic) {
-      GB_LOG(kError) << path << " is not a graphbolt engine state";
+      GB_LOG(kError) << "not a graphbolt engine state";
       return false;
     }
     if (n != graph_->num_vertices()) {
@@ -202,11 +194,30 @@ class GraphBoltEngine {
     in.read(reinterpret_cast<char*>(values_.data()),
             static_cast<std::streamsize>(n * sizeof(Value)));
     if (!in || !store_.DeserializeFrom(in)) {
-      GB_LOG(kError) << path << " truncated or malformed";
+      GB_LOG(kError) << "engine state truncated or malformed";
       return false;
     }
     contexts_ = ComputeVertexContexts(*graph_);
     return true;
+  }
+
+  // Path-based convenience wrappers over the stream API.
+  bool SaveState(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      GB_LOG(kError) << "cannot open " << path << " for writing";
+      return false;
+    }
+    return SaveStateTo(out);
+  }
+
+  bool LoadState(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      GB_LOG(kError) << "cannot open " << path;
+      return false;
+    }
+    return LoadStateFrom(in);
   }
 
   const std::vector<Value>& values() const { return values_; }

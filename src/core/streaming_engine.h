@@ -40,6 +40,7 @@
 
 #include <concepts>
 #include <cstddef>
+#include <iosfwd>
 #include <ranges>
 #include <type_traits>
 #include <utility>
@@ -62,6 +63,20 @@ concept StreamingEngine =
     BatchEngine<E> && requires(const E& const_engine) {
       { const_engine.values() } -> std::ranges::random_access_range;
       { const_engine.values().size() } -> std::convertible_to<size_t>;
+    };
+
+// A StreamingEngine whose computed state round-trips through a byte
+// stream: SaveStateTo writes everything ApplyMutations depends on beyond
+// the graph itself (values, dependency store, ...), LoadStateFrom restores
+// it against an already-restored graph and returns false on malformed
+// input. What Checkpointer (src/fault/checkpoint.h) and
+// StreamDriver::Recover() require.
+template <typename E>
+concept CheckpointableEngine =
+    StreamingEngine<E> && requires(E engine, const E& const_engine, std::ostream& out,
+                                   std::istream& in) {
+      { const_engine.SaveStateTo(out) } -> std::same_as<bool>;
+      { engine.LoadStateFrom(in) } -> std::same_as<bool>;
     };
 
 // The per-vertex value type an engine computes, as seen through values().

@@ -20,20 +20,36 @@
 //   worker that calls the engine's ApplyMutations. The bound is the
 //   backpressure mechanism: when refinement falls behind ingestion,
 //   producers block inside Ingest (or batches are shed, under
-//   OverflowPolicy::kDropNewest), so memory stays bounded.
+//   OverflowPolicy::kDropNewest / kShedToWal), so memory stays bounded.
 // - PrepQuery() is the query barrier: it flushes the gutter, waits until
-//   every flushed batch has been applied, and returns — after which
-//   values() is an exact BSP snapshot (what a from-scratch run on the
-//   current graph would produce). When nothing is buffered or in flight the
-//   barrier is a cached-query fast path: one mutex acquisition, no waiting.
+//   every flushed batch has been applied (and replays any shed batches),
+//   and returns — after which values() is an exact BSP snapshot (what a
+//   from-scratch run on the current graph would produce). When nothing is
+//   buffered or in flight the barrier is a cached-query fast path: one
+//   mutex acquisition, no waiting.
 // - Stop() (also the destructor) drains: ingestion closes, the gutter's
 //   remainder is flushed, the worker applies everything queued and joins.
 //   Mutations ingested after Stop are counted dropped, never lost silently.
+//
+// Fault tolerance (src/fault/): attach a Checkpointer via Options and the
+// driver journals every batch to a write-ahead log immediately before
+// applying it (under the engine mutex, so WAL order == apply order by
+// construction) and snapshots full engine state at the checkpointer's
+// cadence. After a worker crash — detectable via healthy() — Recover()
+// restores the newest valid checkpoint, replays the WAL tail and any shed
+// batches, and restarts the pipeline; with a single producer the restored
+// values are bitwise identical to a fault-free run. A WAL append that fails
+// past its retry budget forces an immediate checkpoint, which supersedes
+// the lost record. A crashed worker closes the queue, so producers shed to
+// the durable side log (or drop, under kDropNewest) instead of blocking
+// forever behind a dead consumer.
 //
 // Ordering semantics: mutations from one producer thread are applied in
 // their ingest order. Mutations racing on different producers have no
 // defined global order — whole batches may interleave — which is
 // indistinguishable from some legal arrival order of those producers.
+// Shed batches additionally lose their place in the stream: they re-enter
+// at the next query barrier or recovery, after batches flushed later.
 //
 // The engine is never accessed concurrently: the worker serializes every
 // ApplyMutations, and the query paths synchronize with it. QuerySnapshot()
@@ -55,6 +71,8 @@
 #include "src/core/streaming_engine.h"
 #include "src/driver/gutter_buffer.h"
 #include "src/engine/stats.h"
+#include "src/fault/checkpoint.h"
+#include "src/fault/fault_injector.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/bounded_queue.h"
 #include "src/util/logging.h"
@@ -71,6 +89,8 @@ class StreamDriver {
   enum class OverflowPolicy {
     kBlock,       // block the flushing producer (lossless backpressure)
     kDropNewest,  // shed the batch, counting stats().mutations_dropped
+    kShedToWal,   // park the batch in the checkpointer's durable shed log;
+                  // it re-enters at the next PrepQuery barrier or recovery
   };
 
   struct Options {
@@ -84,13 +104,29 @@ class StreamDriver {
     // Keep only the last mutation per (src, dst) within a flush — exactly
     // the mutations MutableGraph::NormalizeBatch would honor anyway.
     bool coalesce = true;
+    // Durability: when set, every applied batch is journaled and engine
+    // state is checkpointed at the checkpointer's cadence; Recover()
+    // becomes available. Not owned; must outlive the driver.
+    Checkpointer<Engine>* checkpointer = nullptr;
+    // Test-only deterministic fault injection (no-op unless compiled with
+    // GRAPHBOLT_FAULT_INJECTION=1). Not owned.
+    FaultInjector* fault_injector = nullptr;
   };
 
   // The engine must outlive the driver and already hold the initial
-  // snapshot; run engine->InitialCompute() before ingesting.
+  // snapshot; run engine->InitialCompute() before ingesting (and
+  // CheckpointNow() after it, so a crash before the first cadence
+  // checkpoint still has a baseline to recover from).
   explicit StreamDriver(Engine* engine, Options options = {})
-      : engine_(engine), options_(options), queue_(options.max_pending_batches) {
+      : engine_(engine),
+        options_(options),
+        queue_(options.max_pending_batches),
+        checkpointer_(options.checkpointer),
+        injector_(options.fault_injector) {
     GB_CHECK(options_.batch_size >= 1) << "batch_size must be >= 1";
+    GB_CHECK(options_.overflow != OverflowPolicy::kShedToWal || checkpointer_ != nullptr)
+        << "OverflowPolicy::kShedToWal requires a Checkpointer";
+    queue_.ArmFaultInjector(injector_);
     worker_ = std::thread([this] { WorkerLoop(); });
   }
 
@@ -141,18 +177,35 @@ class StreamDriver {
     FlushLocked(lock);
   }
 
-  // Query barrier: flush + drain. On return every mutation flushed before
-  // the call has been applied, so the engine holds an exact BSP snapshot.
-  // Returns false when the fast path hit (nothing was buffered or in
-  // flight — the previous snapshot is still current).
+  // Query barrier: flush + drain (+ shed replay). On return every mutation
+  // flushed before the call has been applied, so the engine holds an exact
+  // BSP snapshot. Returns false when the fast path hit (nothing was
+  // buffered, in flight, or shed — the previous snapshot is still current).
+  // On a crashed driver the barrier returns immediately with a stale
+  // snapshot; check healthy() and call Recover().
   bool PrepQuery() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (gutter_.empty() && in_flight_ == 0) {
+    if (gutter_.empty() && in_flight_ == 0 && shed_batches_ == 0) {
       return false;  // cached-query fast path
     }
-    FlushLocked(lock);
-    drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
-    return true;
+    for (;;) {
+      if (worker_dead_) {
+        GB_LOG(kWarning) << "PrepQuery on a crashed driver: snapshot is stale; Recover() first";
+        return true;
+      }
+      FlushLocked(lock);
+      drained_cv_.wait(lock, [&] { return in_flight_ == 0 || worker_dead_; });
+      if (worker_dead_) {
+        GB_LOG(kWarning) << "worker died during the query barrier; Recover() first";
+        return true;
+      }
+      if (shed_batches_ == 0) {
+        return true;
+      }
+      lock.unlock();
+      ReplayShed();
+      lock.lock();
+    }
   }
 
   // Barrier + reference to the engine's values. The reference is an exact
@@ -171,10 +224,18 @@ class StreamDriver {
   }
 
   // Cumulative driver statistics (see stats.h: engine fields are summed
-  // over applied batches; driver fields count since construction).
+  // over applied batches; driver fields count since construction; the
+  // durability block merges in the checkpointer's counters).
   EngineStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    EngineStats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = stats_;
+    }
+    if (checkpointer_ != nullptr) {
+      checkpointer_->MergeStats(&snapshot);
+    }
+    return snapshot;
   }
 
   // Mutations currently buffered in the gutter (not yet flushed).
@@ -183,9 +244,139 @@ class StreamDriver {
     return gutter_.size();
   }
 
+  // False once the worker thread has been killed by fault injection (the
+  // stand-in for a real worker crash). The pipeline stops applying; call
+  // Recover() to restore and restart.
+  bool healthy() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !worker_dead_;
+  }
+
+  // Writes a checkpoint of the current engine state immediately — the
+  // baseline right after InitialCompute, or an explicit save point.
+  bool CheckpointNow() {
+    if constexpr (CheckpointableEngine<Engine>) {
+      if (checkpointer_ == nullptr) {
+        return false;
+      }
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      return checkpointer_->WriteCheckpoint(applied_seq_);
+    } else {
+      return false;
+    }
+  }
+
+  // Crash recovery: restores the newest valid checkpoint from disk into the
+  // graph and engine, replays the WAL tail past it, applies batches that
+  // were still queued at the crash (process memory, not crash casualties),
+  // re-applies shed batches, and restarts the worker. Queued-then-shed is
+  // the stream order: shedding only starts once the queue is full or
+  // closed, so anything queued predates anything shed. Works both on a
+  // live driver whose worker died and as cold-start recovery on a freshly
+  // constructed graph/engine/driver (no InitialCompute needed). Always
+  // restores from disk — in-memory engine state is discarded — so the
+  // persisted path is the one being trusted. Returns false (pipeline
+  // restarted, engine state left as-is) when no valid checkpoint exists.
+  bool Recover() {
+    if constexpr (!CheckpointableEngine<Engine>) {
+      GB_LOG(kError) << "Recover() requires a CheckpointableEngine";
+      return false;
+    } else {
+      std::lock_guard<std::mutex> stop_lock(stop_mu_);
+      if (checkpointer_ == nullptr) {
+        GB_LOG(kError) << "Recover() without a Checkpointer";
+        return false;
+      }
+      Timer wall;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        accepting_ = false;
+      }
+      queue_.Close();
+      if (worker_.joinable()) {
+        worker_.join();
+      }
+      std::vector<TimedBatch> preserved;
+      while (std::optional<TimedBatch> leftover = queue_.Pop()) {
+        preserved.push_back(std::move(*leftover));
+      }
+      bool restored = false;
+      bool applied_preserved = false;
+      uint64_t replayed_wal = 0;
+      uint64_t replayed_shed = 0;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        uint64_t ckpt_seq = 0;
+        restored = checkpointer_->RestoreLatest(&ckpt_seq);
+        if (restored) {
+          applied_seq_ = ckpt_seq;
+          // The tail was journaled with its final sequence numbers already:
+          // replay applies without re-journaling or cadence checkpoints.
+          replayed_wal = checkpointer_->ReplayWal(
+              ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
+                engine_->ApplyMutations(batch);
+                applied_seq_ = seq;
+              });
+        }
+        // Restored state — or live in-memory state left at a batch boundary
+        // by the kill — can absorb the not-yet-applied remainder. A cold
+        // start without any valid checkpoint cannot (the engine was never
+        // initialized), so the shed log stays parked for a later attempt.
+        if (restored || applied_seq_ > 0) {
+          for (TimedBatch& item : preserved) {
+            ApplyJournaled(item.batch);
+          }
+          applied_preserved = true;
+          replayed_shed = checkpointer_->DrainShed(
+              [&](MutationBatch&& batch) { ApplyJournaled(batch); });
+        }
+        if (restored) {
+          // Fresh checkpoint at the recovered frontier: the next crash
+          // recovers from here, and the superseded WAL prefix can compact.
+          checkpointer_->WriteCheckpoint(applied_seq_);
+        }
+      }
+      queue_.Reset();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        worker_dead_ = false;
+        accepting_ = true;
+        shed_batches_ = 0;
+        if (applied_preserved) {
+          // First-time applies (queued + shed) count as applied; WAL-tail
+          // re-applications only as replayed.
+          stats_.batches_applied += preserved.size() + replayed_shed;
+        } else {
+          for (const TimedBatch& item : preserved) {
+            stats_.mutations_dropped += item.batch.size();
+          }
+        }
+        in_flight_ -= preserved.size();
+        if (in_flight_ == 0) {
+          drained_cv_.notify_all();
+        }
+        if (restored) {
+          ++stats_.recoveries;
+          stats_.batches_replayed += replayed_wal + replayed_shed;
+          stats_.shed_batches_replayed += replayed_shed;
+        }
+      }
+      worker_ = std::thread([this] { WorkerLoop(); });
+      stopped_ = false;
+      if (restored) {
+        GB_LOG(kInfo) << "recovered to batch " << applied_seq_ << " (" << replayed_wal
+                      << " WAL, " << preserved.size() << " queued, " << replayed_shed
+                      << " shed batches replayed) in " << wall.Millis() << " ms";
+      }
+      return restored;
+    }
+  }
+
   // Drains and shuts down: stops accepting, flushes the gutter remainder,
-  // waits for the worker to apply everything queued, joins it. Idempotent;
-  // called by the destructor.
+  // waits for the worker to apply everything queued, joins it, and replays
+  // any shed batches. Idempotent; called by the destructor. After a worker
+  // crash the un-applied queue leftovers are parked in the durable shed log
+  // (recoverable by a later cold-start Recover) or counted dropped.
   void Stop() {
     std::lock_guard<std::mutex> stop_lock(stop_mu_);
     if (stopped_) {
@@ -198,6 +389,34 @@ class StreamDriver {
     }
     queue_.Close();
     worker_.join();
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dead = worker_dead_;
+    }
+    while (std::optional<TimedBatch> leftover = queue_.Pop()) {
+      const bool shed = checkpointer_ != nullptr && checkpointer_->AppendShed(leftover->batch);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shed) {
+        stats_.mutations_shed_to_wal += leftover->batch.size();
+        ++shed_batches_;
+      } else {
+        stats_.mutations_dropped += leftover->batch.size();
+      }
+      if (--in_flight_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+    if (!dead) {
+      bool have_shed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        have_shed = shed_batches_ > 0;
+      }
+      if (have_shed) {
+        ReplayShed();  // engine is idle: the worker has joined
+      }
+    }
     stopped_ = true;
   }
 
@@ -212,6 +431,11 @@ class StreamDriver {
   // stalls only the flushing producer, never the worker's bookkeeping.
   // in_flight_ covers the unlocked window, keeping the batch visible to
   // PrepQuery and to the worker's stale-flush check throughout.
+  //
+  // A push can fail three ways: full under kDropNewest (drop), full under
+  // kShedToWal (shed), or queue closed — shutdown or a crashed worker —
+  // where the batch sheds durably when a checkpointer is attached and
+  // drops otherwise.
   void FlushLocked(std::unique_lock<std::mutex>& lock) {
     if (gutter_.empty()) {
       return;
@@ -224,19 +448,27 @@ class StreamDriver {
     lock.unlock();
     bool pushed = false;
     double waited = 0.0;
-    if (options_.overflow == OverflowPolicy::kDropNewest) {
-      pushed = queue_.TryPush(std::move(item));
-    } else if (!queue_.TryPush(std::move(item))) {
+    if (queue_.TryPush(std::move(item))) {
+      pushed = true;
+    } else if (options_.overflow == OverflowPolicy::kBlock) {
       Timer wait;  // full: this block is the backpressure producers feel
       pushed = queue_.Push(std::move(item));
       waited = wait.Seconds();
-    } else {
-      pushed = true;
+    }
+    bool shed = false;
+    if (!pushed && options_.overflow != OverflowPolicy::kDropNewest &&
+        checkpointer_ != nullptr) {
+      shed = checkpointer_->AppendShed(item.batch);
     }
     lock.lock();
     stats_.queue_wait_seconds += waited;
-    if (!pushed) {  // shed (kDropNewest) or interrupted by shutdown
-      stats_.mutations_dropped += mutations;
+    if (!pushed) {
+      if (shed) {
+        stats_.mutations_shed_to_wal += mutations;
+        ++shed_batches_;
+      } else {
+        stats_.mutations_dropped += mutations;
+      }
       if (--in_flight_ == 0) {
         drained_cv_.notify_all();
       }
@@ -249,6 +481,9 @@ class StreamDriver {
       std::optional<TimedBatch> item = queue_.PopFor(poll);
       if (item.has_value()) {
         ApplyOne(std::move(*item));
+        if (WorkerKilled()) {
+          return;
+        }
         continue;
       }
       if (queue_.closed()) {
@@ -271,16 +506,38 @@ class StreamDriver {
         ++in_flight_;
         lock.unlock();
         ApplyOne(std::move(stale));
+        if (WorkerKilled()) {
+          return;
+        }
       }
     }
   }
 
+  // The kWorkerKill site fires between batches (after an apply completes),
+  // so the engine is always left at a batch boundary — a crash never tears
+  // a refinement. The queue closes so producers stop blocking behind the
+  // dead consumer (their pushes fail over to the shed/drop path); queued
+  // batches stay poppable for Recover().
+  bool WorkerKilled() {
+    if (!GB_FAULT_POINT(injector_, FaultSite::kWorkerKill)) {
+      return false;
+    }
+    queue_.Close();
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_dead_ = true;
+    GB_LOG(kWarning) << "FaultInjector: worker killed after batch "
+                     << stats_.batches_applied;
+    drained_cv_.notify_all();
+    return true;
+  }
+
   void ApplyOne(TimedBatch item) {
+    EngineStats applied;
     {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
-      engine_->ApplyMutations(item.batch);
+      ApplyJournaled(item.batch);
+      applied = engine_->stats();
     }
-    const EngineStats& applied = engine_->stats();  // worker is the sole engine writer
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches_applied;
     stats_.seconds += applied.seconds;
@@ -293,10 +550,61 @@ class StreamDriver {
     }
   }
 
+  // Every engine apply funnels through here (worker batches, shed replay):
+  // assign the next sequence number, journal write-ahead, apply, then
+  // checkpoint on cadence. Caller holds engine_mu_.
+  void ApplyJournaled(const MutationBatch& batch) {
+    ++applied_seq_;
+    bool journaled = true;
+    if (checkpointer_ != nullptr) {
+      journaled = checkpointer_->AppendWal(applied_seq_, batch);
+    }
+    engine_->ApplyMutations(batch);
+    if (checkpointer_ != nullptr) {
+      if constexpr (CheckpointableEngine<Engine>) {
+        // force: a batch whose WAL record was lost must be captured by a
+        // checkpoint before the next crash.
+        checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/!journaled);
+      }
+    }
+  }
+
+  // Applies batches parked in the shed log through the journaled path.
+  // shed_replay_mu_ serializes concurrent barriers so a batch is never
+  // applied twice; the engine lock orders the replay against the worker.
+  void ReplayShed() {
+    if (checkpointer_ == nullptr) {
+      return;
+    }
+    std::lock_guard<std::mutex> replay_lock(shed_replay_mu_);
+    uint64_t replayed = 0;
+    EngineStats summed;
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      replayed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
+        ApplyJournaled(batch);
+        const EngineStats& applied = engine_->stats();
+        summed.seconds += applied.seconds;
+        summed.mutation_seconds += applied.mutation_seconds;
+        summed.edges_processed += applied.edges_processed;
+        summed.iterations += applied.iterations;
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.shed_batches_replayed += replayed;
+    stats_.batches_applied += replayed;
+    stats_.seconds += summed.seconds;
+    stats_.mutation_seconds += summed.mutation_seconds;
+    stats_.edges_processed += summed.edges_processed;
+    stats_.iterations += summed.iterations;
+    shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
+  }
+
   Engine* engine_;
   Options options_;
 
-  mutable std::mutex mu_;  // guards gutter_, stats_, in_flight_, accepting_
+  mutable std::mutex mu_;  // guards gutter_, stats_, in_flight_, accepting_,
+                           // worker_dead_, shed_batches_
   std::condition_variable drained_cv_;
   GutterBuffer gutter_;
   EngineStats stats_;
@@ -304,12 +612,21 @@ class StreamDriver {
   // or being applied). PrepQuery waits for this to reach zero.
   size_t in_flight_ = 0;
   bool accepting_ = true;
+  bool worker_dead_ = false;
+  // Batches currently parked in the checkpointer's shed log.
+  size_t shed_batches_ = 0;
 
-  std::mutex engine_mu_;  // held while the engine is applied or snapshotted
+  std::mutex engine_mu_;  // held while the engine is applied or snapshotted;
+                          // also guards applied_seq_ and the WAL append order
+  uint64_t applied_seq_ = 0;
+  std::mutex shed_replay_mu_;  // serializes ReplayShed calls
+
   BoundedQueue<TimedBatch> queue_;
   std::thread worker_;
+  Checkpointer<Engine>* checkpointer_;
+  FaultInjector* injector_;
 
-  std::mutex stop_mu_;  // serializes Stop callers; guards stopped_
+  std::mutex stop_mu_;  // serializes Stop/Recover callers; guards stopped_
   bool stopped_ = false;
 };
 

@@ -9,6 +9,10 @@
 #define SRC_ENGINE_LIGRA_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -76,11 +80,45 @@ class LigraEngine {
     return applied;
   }
 
+  // Streams the computed state for checkpointing (CheckpointableEngine,
+  // src/core/streaming_engine.h). Only values are persisted: contexts are
+  // recomputed from the (separately restored) graph, and ApplyMutations
+  // recomputes everything else from scratch anyway.
+  bool SaveStateTo(std::ostream& out) const {
+    static_assert(std::is_trivially_copyable_v<Value>);
+    const uint64_t magic = kStateMagic;
+    const uint64_t n = values_.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(values_.data()),
+              static_cast<std::streamsize>(n * sizeof(Value)));
+    return static_cast<bool>(out);
+  }
+
+  bool LoadStateFrom(std::istream& in) {
+    uint64_t magic = 0;
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || magic != kStateMagic || n != graph_->num_vertices()) {
+      return false;
+    }
+    values_.resize(n);
+    if (!in.read(reinterpret_cast<char*>(values_.data()),
+                 static_cast<std::streamsize>(n * sizeof(Value)))) {
+      return false;
+    }
+    contexts_ = ComputeVertexContexts(*graph_);
+    return true;
+  }
+
   const std::vector<Value>& values() const { return values_; }
   const EngineStats& stats() const { return stats_; }
   const Algo& algorithm() const { return algo_; }
 
  private:
+  static constexpr uint64_t kStateMagic = 0x47424C4753543031ULL;  // "GBLGST01"
+
   // One synchronous iteration over every vertex; returns whether any value
   // changed. Pull-based: no atomics needed since each vertex owns its cell.
   bool DenseIteration(std::vector<Value>* next) {

@@ -12,7 +12,11 @@
 #define SRC_ENGINE_RESET_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <istream>
 #include <mutex>
+#include <ostream>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -103,12 +107,45 @@ class ResetEngine {
     return applied;
   }
 
+  // Streams the computed state for checkpointing (CheckpointableEngine,
+  // src/core/streaming_engine.h). Values only: contexts are recomputed from
+  // the restored graph, and the aggregation array is rebuilt by the full
+  // restart every ApplyMutations performs.
+  bool SaveStateTo(std::ostream& out) const {
+    static_assert(std::is_trivially_copyable_v<Value>);
+    const uint64_t magic = kStateMagic;
+    const uint64_t n = values_.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(values_.data()),
+              static_cast<std::streamsize>(n * sizeof(Value)));
+    return static_cast<bool>(out);
+  }
+
+  bool LoadStateFrom(std::istream& in) {
+    uint64_t magic = 0;
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || magic != kStateMagic || n != graph_->num_vertices()) {
+      return false;
+    }
+    values_.resize(n);
+    if (!in.read(reinterpret_cast<char*>(values_.data()),
+                 static_cast<std::streamsize>(n * sizeof(Value)))) {
+      return false;
+    }
+    contexts_ = ComputeVertexContexts(*graph_);
+    return true;
+  }
+
   const std::vector<Value>& values() const { return values_; }
   const EngineStats& stats() const { return stats_; }
   const Algo& algorithm() const { return algo_; }
 
  private:
   static constexpr bool kPullBased = Algo::kKind == AggregationKind::kNonDecomposable;
+  static constexpr uint64_t kStateMagic = 0x4742525353543031ULL;  // "GBRSST01"
 
   // Aggregates every vertex's initial contribution (pull over the CSC; no
   // atomics contended since each vertex owns its cell), computes iteration-1

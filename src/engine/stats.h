@@ -52,6 +52,27 @@ struct EngineStats {
   // (summed across batches; divide by batches_applied for the mean).
   double flush_latency_seconds = 0.0;
 
+  // ----- Durability counters (populated when a Checkpointer is attached) ---
+  // Checkpoints committed (cadence, forced, explicit, and post-recovery).
+  uint64_t checkpoints_written = 0;
+  // Checkpoint write attempts beyond the first (retry-with-backoff).
+  uint64_t checkpoint_retries = 0;
+  // Checkpoints abandoned after the retry budget was exhausted.
+  uint64_t checkpoint_failures = 0;
+  // Wall-clock seconds spent writing checkpoints.
+  double checkpoint_seconds = 0.0;
+  // Write-ahead-log records committed / append attempts beyond the first.
+  uint64_t wal_appends = 0;
+  uint64_t wal_retries = 0;
+  // Mutations parked in the shed log by the kShedToWal overflow policy (or
+  // by flushes against a crashed worker), and the batches re-applied from
+  // it at a query barrier or recovery.
+  uint64_t mutations_shed_to_wal = 0;
+  uint64_t shed_batches_replayed = 0;
+  // Successful Recover() calls, and the WAL/shed batches they re-applied.
+  uint64_t recoveries = 0;
+  uint64_t batches_replayed = 0;
+
   void Clear() { *this = EngineStats{}; }
 };
 

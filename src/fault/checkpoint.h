@@ -1,0 +1,423 @@
+// Checkpoint/recovery for streaming engines.
+//
+// A Checkpointer owns a checkpoint directory holding three kinds of files:
+//
+//   checkpoint-<seq>.ckpt   full engine state as of applied batch <seq>,
+//                           written to a .tmp sibling and renamed into
+//                           place, so a crash mid-write never corrupts a
+//                           committed checkpoint (rename-on-commit);
+//   journal.wal             write-ahead log of applied batches (appended by
+//                           the driver immediately before each apply — see
+//                           wal.h for the ordering invariant);
+//   shed.wal                batches parked by the kShedToWal overflow
+//                           policy or by flushes against a crashed worker,
+//                           replayed at the next query barrier or recovery.
+//
+// A checkpoint file is self-validating: fixed magic + version header, the
+// graph snapshot (edge list), the engine payload (SaveStateTo), and a
+// footer magic. RestoreLatest validates magic/version/footer on the raw
+// bytes *before* touching live state, so a torn or truncated file is
+// skipped with a warning and recovery falls back to the next-newest
+// checkpoint — never UB, never a half-clobbered engine.
+//
+// Durability policy on write failure: retry with exponential backoff
+// (RetryPolicy); a checkpoint that still fails is abandoned (the previous
+// checkpoint plus the WAL still covers the state), while a WAL append that
+// still fails makes the driver force an immediate checkpoint, which
+// supersedes the lost record.
+#ifndef SRC_FAULT_CHECKPOINT_H_
+#define SRC_FAULT_CHECKPOINT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/streaming_engine.h"
+#include "src/engine/stats.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/wal.h"
+#include "src/graph/edge_list.h"
+#include "src/graph/mutable_graph.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+// Retry-with-backoff policy for the durable write paths.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_seconds = 1e-4;
+  double backoff_multiplier = 2.0;
+};
+
+// On-disk checkpoint format constants, public so format tests can corrupt
+// files at known offsets.
+inline constexpr uint64_t kCheckpointMagic = 0x313054504B434247ULL;   // "GBCKPT01"
+inline constexpr uint64_t kCheckpointFooter = 0x31444E454B434247ULL;  // "GBCKEND1"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+template <typename Engine>
+class Checkpointer {
+ public:
+  struct Options {
+    std::string directory;
+    // Write a checkpoint every N applied batches (0 = only explicit
+    // CheckpointNow / post-recovery checkpoints).
+    uint64_t cadence_batches = 16;
+    // Checkpoint files retained; older ones are pruned after each commit.
+    // Keeping >1 is what makes torn-newest fallback possible.
+    int keep = 2;
+    RetryPolicy retry = {};
+  };
+
+  Checkpointer(Engine* engine, MutableGraph* graph, Options options,
+               FaultInjector* injector = nullptr)
+      : engine_(engine), graph_(graph), options_(std::move(options)), injector_(injector) {
+    GB_CHECK(!options_.directory.empty()) << "Checkpointer needs a directory";
+    GB_CHECK(options_.keep >= 1) << "Checkpointer must keep at least one checkpoint";
+    std::error_code ec;
+    std::filesystem::create_directories(options_.directory, ec);
+    wal_.Open(options_.directory + "/journal.wal");
+    shed_.Open(options_.directory + "/shed.wal");
+  }
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  const std::string& directory() const { return options_.directory; }
+  const Options& options() const { return options_; }
+
+  // ----- Write-ahead log (caller serializes, i.e. the driver's engine_mu_) --
+
+  // Journals one applied batch, retrying with backoff on failure. Returns
+  // false once the retry budget is exhausted (caller should force a
+  // checkpoint to supersede the missing record).
+  bool AppendWal(uint64_t seq, const MutationBatch& batch) {
+    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier);
+    for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        backoff.Sleep();
+        Count(&Stats::wal_retries);
+      }
+      const bool injected = GB_FAULT_POINT(injector_, FaultSite::kWalAppend);
+      if (!injected && wal_.Append(seq, batch)) {
+        Count(&Stats::wal_appends);
+        return true;
+      }
+    }
+    GB_LOG(kWarning) << "WAL append for batch " << seq << " failed after "
+                     << options_.retry.max_attempts << " attempts";
+    return false;
+  }
+
+  // Replays journal records with seq > after_seq through
+  // fn(seq, MutationBatch&&). max_records bounds the replay (tests use it
+  // to simulate a crash mid-recovery).
+  template <typename Fn>
+  size_t ReplayWal(uint64_t after_seq, Fn&& fn,
+                   size_t max_records = static_cast<size_t>(-1)) const {
+    return wal_.Replay(after_seq, std::forward<Fn>(fn), max_records);
+  }
+
+  // ----- Shed log (self-synchronized; producers append, barriers drain) ----
+
+  // Parks a batch that could not be queued. Shed batches lose their place
+  // in the stream order — they re-enter at the next barrier or recovery —
+  // which is the documented semantic of the kShedToWal policy.
+  bool AppendShed(const MutationBatch& batch) {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    if (!shed_.Append(++shed_seq_, batch)) {
+      return false;
+    }
+    Count(&Stats::shed_appends);
+    return true;
+  }
+
+  // Feeds every parked batch through fn(MutationBatch&&) and truncates the
+  // shed log. The caller must hold the engine lock if fn applies batches;
+  // shed_mu_ keeps concurrent producers' AppendShed calls out of the drain.
+  template <typename Fn>
+  size_t DrainShed(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    const size_t drained =
+        shed_.Replay(0, [&](uint64_t /*seq*/, MutationBatch&& batch) { fn(std::move(batch)); });
+    shed_.Reset();
+    shed_seq_ = 0;
+    return drained;
+  }
+
+  // ----- Checkpoints --------------------------------------------------------
+
+  // Cadence gate: writes a checkpoint when `seq` lands on the configured
+  // cadence or when forced (lost WAL record). Returns false only when a
+  // write was attempted and failed.
+  bool MaybeCheckpoint(uint64_t seq, bool force = false) {
+    const bool due =
+        force || (options_.cadence_batches > 0 && seq % options_.cadence_batches == 0);
+    if (!due) {
+      return true;
+    }
+    return WriteCheckpoint(seq);
+  }
+
+  // Snapshots graph + engine state as of applied batch `seq`, with
+  // rename-on-commit, retry-with-backoff, retention pruning, and WAL
+  // compaction (records at or before the oldest retained checkpoint are
+  // dropped).
+  bool WriteCheckpoint(uint64_t seq) {
+    static_assert(CheckpointableEngine<Engine>,
+                  "checkpointing requires Engine::SaveStateTo/LoadStateFrom");
+    Timer timer;
+    const std::string final_path = PathFor(seq);
+    const std::string tmp_path = final_path + ".tmp";
+    bool written = false;
+    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier);
+    for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        backoff.Sleep();
+        Count(&Stats::checkpoint_retries);
+      }
+      if (WriteCheckpointFile(tmp_path, seq)) {
+        written = true;
+        break;
+      }
+    }
+    if (!written || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      Count(&Stats::checkpoint_failures);
+      GB_LOG(kWarning) << "checkpoint " << final_path << " abandoned after "
+                       << options_.retry.max_attempts << " attempts";
+      return false;
+    }
+    if (GB_FAULT_POINT(injector_, FaultSite::kTornCheckpoint)) {
+      // Simulate a torn committed file (e.g. power loss before the data
+      // reached the platter): truncate to a third of its size. Recovery
+      // must detect this and fall back to the previous checkpoint.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(final_path, ec);
+      if (!ec) {
+        std::filesystem::resize_file(final_path, size / 3, ec);
+      }
+      GB_LOG(kWarning) << "FaultInjector: tore checkpoint " << final_path;
+    }
+    Prune();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.checkpoints_written;
+      stats_.checkpoint_seconds += timer.Seconds();
+    }
+    return true;
+  }
+
+  // Restores the newest valid checkpoint into *graph_ and *engine_. Invalid
+  // files (torn, truncated, wrong magic/version) are skipped with a warning
+  // — validation happens on the raw bytes before live state is touched.
+  // Returns false when no valid checkpoint exists.
+  bool RestoreLatest(uint64_t* seq_out) {
+    static_assert(CheckpointableEngine<Engine>,
+                  "checkpointing requires Engine::SaveStateTo/LoadStateFrom");
+    std::vector<std::pair<uint64_t, std::string>> files = ListCheckpoints();
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      if (LoadCheckpointFile(it->second, seq_out)) {
+        return true;
+      }
+      GB_LOG(kWarning) << "checkpoint " << it->second
+                       << " invalid (torn/corrupt/mismatched); falling back";
+    }
+    GB_LOG(kWarning) << "no valid checkpoint in " << options_.directory;
+    return false;
+  }
+
+  // Adds this checkpointer's durability counters into a driver stats
+  // snapshot (EngineStats carries them so they surface uniformly).
+  void MergeStats(EngineStats* s) const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s->checkpoints_written += stats_.checkpoints_written;
+    s->checkpoint_retries += stats_.checkpoint_retries;
+    s->checkpoint_failures += stats_.checkpoint_failures;
+    s->checkpoint_seconds += stats_.checkpoint_seconds;
+    s->wal_appends += stats_.wal_appends;
+    s->wal_retries += stats_.wal_retries;
+  }
+
+ private:
+  struct Stats {
+    uint64_t checkpoints_written = 0;
+    uint64_t checkpoint_retries = 0;
+    uint64_t checkpoint_failures = 0;
+    double checkpoint_seconds = 0.0;
+    uint64_t wal_appends = 0;
+    uint64_t wal_retries = 0;
+    uint64_t shed_appends = 0;
+  };
+
+  void Count(uint64_t Stats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(stats_.*field);
+  }
+
+  std::string PathFor(uint64_t seq) const {
+    char name[64];
+    std::snprintf(name, sizeof(name), "checkpoint-%020llu.ckpt",
+                  static_cast<unsigned long long>(seq));
+    return options_.directory + "/" + name;
+  }
+
+  // (seq, path) for every committed checkpoint file, sorted ascending.
+  std::vector<std::pair<uint64_t, std::string>> ListCheckpoints() const {
+    std::vector<std::pair<uint64_t, std::string>> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(options_.directory, ec)) {
+      const std::string name = entry.path().filename().string();
+      unsigned long long seq = 0;
+      if (std::sscanf(name.c_str(), "checkpoint-%llu.ckpt", &seq) == 1 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
+        files.emplace_back(seq, entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  bool WriteCheckpointFile(const std::string& path, uint64_t seq) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    if (GB_FAULT_POINT(injector_, FaultSite::kCheckpointWrite)) {
+      return false;  // injected serialization failure; caller retries
+    }
+    WriteRaw(out, kCheckpointMagic);
+    WriteRaw(out, kCheckpointVersion);
+    WriteRaw(out, seq);
+    const EdgeList snapshot = graph_->ToEdgeList();
+    WriteRaw(out, static_cast<uint64_t>(snapshot.num_vertices()));
+    WriteRaw(out, static_cast<uint64_t>(snapshot.num_edges()));
+    if (!snapshot.edges().empty()) {
+      out.write(reinterpret_cast<const char*>(snapshot.edges().data()),
+                static_cast<std::streamsize>(snapshot.edges().size() * sizeof(Edge)));
+    }
+    if (!engine_->SaveStateTo(out)) {
+      return false;
+    }
+    WriteRaw(out, kCheckpointFooter);
+    out.flush();
+    return static_cast<bool>(out);
+  }
+
+  bool LoadCheckpointFile(const std::string& path, uint64_t* seq_out) {
+    // Slurp and validate the envelope before touching live state.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return false;
+    }
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    std::string bytes = std::move(slurp).str();
+    constexpr size_t kHeaderBytes = sizeof(kCheckpointMagic) + sizeof(kCheckpointVersion) +
+                                    3 * sizeof(uint64_t);
+    constexpr size_t kFooterBytes = sizeof(kCheckpointFooter);
+    if (bytes.size() < kHeaderBytes + kFooterBytes) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": truncated ("
+                       << bytes.size() << " bytes)";
+      return false;
+    }
+    uint64_t footer = 0;
+    std::memcpy(&footer, bytes.data() + bytes.size() - kFooterBytes, kFooterBytes);
+    std::istringstream stream(std::move(bytes));
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint64_t seq = 0;
+    uint64_t num_vertices = 0;
+    uint64_t num_edges = 0;
+    ReadRaw(stream, &magic);
+    ReadRaw(stream, &version);
+    ReadRaw(stream, &seq);
+    ReadRaw(stream, &num_vertices);
+    ReadRaw(stream, &num_edges);
+    if (magic != kCheckpointMagic) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": bad magic";
+      return false;
+    }
+    if (version != kCheckpointVersion) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": format version " << version
+                       << " != supported " << kCheckpointVersion;
+      return false;
+    }
+    if (footer != kCheckpointFooter) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": bad footer (torn write)";
+      return false;
+    }
+    std::vector<Edge> edges(num_edges);
+    if (num_edges > 0 &&
+        !stream.read(reinterpret_cast<char*>(edges.data()),
+                     static_cast<std::streamsize>(num_edges * sizeof(Edge)))) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": short edge payload";
+      return false;
+    }
+    EdgeList snapshot(static_cast<VertexId>(num_vertices), std::move(edges));
+    // Envelope is intact: rebuild the graph, then the engine state. The
+    // edge list was exported sorted (CSR keeps neighbor lists sorted), so
+    // the rebuilt CSR iterates identically — the bitwise-recovery premise.
+    *graph_ = MutableGraph(snapshot);
+    if (!engine_->LoadStateFrom(stream)) {
+      GB_LOG(kWarning) << "checkpoint " << path << ": engine payload rejected";
+      return false;
+    }
+    *seq_out = seq;
+    return true;
+  }
+
+  // Removes checkpoints beyond the retention window, then compacts the WAL
+  // up to the oldest retained checkpoint (records <= that seq can never be
+  // needed again; records after it are kept so every retained checkpoint
+  // still has its full tail).
+  void Prune() {
+    std::vector<std::pair<uint64_t, std::string>> files = ListCheckpoints();
+    if (files.size() <= static_cast<size_t>(options_.keep)) {
+      return;
+    }
+    const size_t drop = files.size() - static_cast<size_t>(options_.keep);
+    for (size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      std::filesystem::remove(files[i].second, ec);
+    }
+    wal_.DropThrough(files[drop].first);
+  }
+
+  template <typename V>
+  static void WriteRaw(std::ostream& out, const V& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(V));
+  }
+
+  template <typename V>
+  static void ReadRaw(std::istream& in, V* value) {
+    in.read(reinterpret_cast<char*>(value), sizeof(V));
+  }
+
+  Engine* engine_;
+  MutableGraph* graph_;
+  const Options options_;
+  FaultInjector* injector_;
+  WriteAheadLog wal_;
+
+  std::mutex shed_mu_;
+  WriteAheadLog shed_;
+  uint64_t shed_seq_ = 0;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_FAULT_CHECKPOINT_H_

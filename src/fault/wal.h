@@ -1,0 +1,183 @@
+// A write-ahead log of applied mutation batches.
+//
+// The driver appends each batch under the engine mutex immediately before
+// applying it, so the log's record order is the apply order by
+// construction; a checkpoint taken after batch k therefore supersedes
+// exactly the log prefix 1..k, and recovery is "restore checkpoint, replay
+// the records with seq > k".
+//
+// Record layout (little-endian, host byte order — the log is a crash
+// artifact consumed by the same build, not an interchange format):
+//
+//   u32 magic "GBWA" | u64 seq | u64 count | count * EdgeMutation (raw)
+//
+// Replay tolerates a torn tail: a partial or corrupt final record (the
+// write that was in flight when the process died) terminates replay with a
+// warning instead of failing it.
+#ifndef SRC_FAULT_WAL_H_
+#define SRC_FAULT_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/mutation.h"
+#include "src/util/logging.h"
+
+namespace graphbolt {
+
+class WriteAheadLog {
+ public:
+  static constexpr uint32_t kRecordMagic = 0x41574247u;  // "GBWA"
+
+  WriteAheadLog() = default;
+  explicit WriteAheadLog(std::string path) { Open(std::move(path)); }
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Binds the log to a file. Existing records are preserved (the append
+  // stream opens in append mode on first use).
+  void Open(std::string path) {
+    out_.close();
+    out_.clear();
+    path_ = std::move(path);
+  }
+
+  const std::string& path() const { return path_; }
+
+  // Appends one record and flushes it to the OS. Returns false when the
+  // file cannot be opened or the write fails (nothing usable was made
+  // durable; the torn tail, if any, is ignored by Replay).
+  bool Append(uint64_t seq, const MutationBatch& batch) {
+    if (!EnsureOpen()) {
+      return false;
+    }
+    const uint64_t count = batch.size();
+    WriteRaw(out_, kRecordMagic);
+    WriteRaw(out_, seq);
+    WriteRaw(out_, count);
+    if (count > 0) {
+      out_.write(reinterpret_cast<const char*>(batch.data()),
+                 static_cast<std::streamsize>(count * sizeof(EdgeMutation)));
+    }
+    out_.flush();
+    if (!out_) {
+      // Poisoned stream: drop it so the next append retries from open().
+      out_.close();
+      out_.clear();
+      return false;
+    }
+    return true;
+  }
+
+  // Streams every intact record with seq > after_seq through
+  // fn(seq, MutationBatch&&), in file order, stopping early after
+  // max_records invocations. Returns the number of records delivered.
+  template <typename Fn>
+  size_t Replay(uint64_t after_seq, Fn&& fn, size_t max_records = static_cast<size_t>(-1)) const {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      return 0;  // no log yet — an empty tail, not an error
+    }
+    size_t delivered = 0;
+    while (delivered < max_records) {
+      uint32_t magic = 0;
+      uint64_t seq = 0;
+      uint64_t count = 0;
+      if (!ReadRaw(in, &magic)) {
+        break;  // clean EOF or torn header
+      }
+      if (magic != kRecordMagic || !ReadRaw(in, &seq) || !ReadRaw(in, &count) ||
+          count > kMaxRecordMutations) {
+        GB_LOG(kWarning) << "WAL " << path_ << ": torn/corrupt record after "
+                         << delivered << " replayed records; stopping replay";
+        break;
+      }
+      MutationBatch batch(count);
+      if (count > 0 &&
+          !in.read(reinterpret_cast<char*>(batch.data()),
+                   static_cast<std::streamsize>(count * sizeof(EdgeMutation)))) {
+        GB_LOG(kWarning) << "WAL " << path_ << ": torn payload at seq " << seq
+                         << "; stopping replay";
+        break;
+      }
+      if (seq > after_seq) {
+        fn(seq, std::move(batch));
+        ++delivered;
+      }
+    }
+    return delivered;
+  }
+
+  // Truncates the log to empty.
+  void Reset() {
+    out_.close();
+    out_.clear();
+    std::ofstream(path_, std::ios::binary | std::ios::trunc);
+  }
+
+  // Atomically drops every record with seq <= cutoff_seq (they precede a
+  // retained checkpoint) by rewriting the survivors to a temp file and
+  // renaming it into place. Returns false and leaves the log unchanged on
+  // IO failure.
+  bool DropThrough(uint64_t cutoff_seq) {
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return false;
+      }
+      Replay(cutoff_seq, [&](uint64_t seq, MutationBatch&& batch) {
+        WriteRaw(out, kRecordMagic);
+        WriteRaw(out, seq);
+        WriteRaw(out, static_cast<uint64_t>(batch.size()));
+        if (!batch.empty()) {
+          out.write(reinterpret_cast<const char*>(batch.data()),
+                    static_cast<std::streamsize>(batch.size() * sizeof(EdgeMutation)));
+        }
+      });
+      out.flush();
+      if (!out) {
+        return false;
+      }
+    }
+    out_.close();
+    out_.clear();
+    return std::rename(tmp.c_str(), path_.c_str()) == 0;
+  }
+
+ private:
+  // Sanity bound for the record header: a count beyond this is corruption,
+  // not a batch (the driver's gutter flushes long before 2^32 mutations).
+  static constexpr uint64_t kMaxRecordMutations = uint64_t{1} << 32;
+
+  bool EnsureOpen() {
+    if (out_.is_open()) {
+      return true;
+    }
+    GB_CHECK(!path_.empty()) << "WriteAheadLog used before Open()";
+    out_.open(path_, std::ios::binary | std::ios::app);
+    return static_cast<bool>(out_);
+  }
+
+  template <typename V>
+  static void WriteRaw(std::ostream& out, const V& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(V));
+  }
+
+  template <typename V>
+  static bool ReadRaw(std::istream& in, V* value) {
+    return static_cast<bool>(in.read(reinterpret_cast<char*>(value), sizeof(V)));
+  }
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_FAULT_WAL_H_

@@ -36,6 +36,9 @@
 #include "src/core/streaming_engine.h"
 #include "src/driver/stream_driver.h"
 #include "src/engine/edge_map.h"
+#include "src/fault/checkpoint.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/wal.h"
 #include "src/engine/ligra_engine.h"
 #include "src/engine/reset_engine.h"
 #include "src/graph/generators.h"
@@ -56,6 +59,12 @@ static_assert(StreamingEngine<LigraEngine<PageRank>>);
 static_assert(StreamingEngine<ResetEngine<PageRank>>);
 static_assert(StreamingEngine<GraphBoltEngine<PageRank>>);
 static_assert(StreamingEngine<KickStarterEngine<KsSsspTraits>>);
+// All four are also checkpointable (SaveStateTo/LoadStateFrom), so the
+// fault-tolerance layer (src/fault/) covers the whole engine surface.
+static_assert(CheckpointableEngine<LigraEngine<PageRank>>);
+static_assert(CheckpointableEngine<ResetEngine<PageRank>>);
+static_assert(CheckpointableEngine<GraphBoltEngine<PageRank>>);
+static_assert(CheckpointableEngine<KickStarterEngine<KsSsspTraits>>);
 // The triangle-counting engines produce a scalar count, not per-vertex
 // values: batch-drivable (harnesses, timing) but not stream-queryable.
 static_assert(BatchEngine<TriangleCountingEngine> &&

@@ -22,6 +22,11 @@
 #define SRC_KICKSTARTER_KICKSTARTER_ENGINE_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/engine/stats.h"
@@ -162,11 +167,47 @@ class KickStarterEngine {
     return applied;
   }
 
+  // Streams the computed state for checkpointing (CheckpointableEngine,
+  // src/core/streaming_engine.h). Values AND the dependence tree: parents
+  // are what deletion handling invalidates, so they must survive recovery
+  // for post-restore batches to correct exactly as an uninterrupted run.
+  bool SaveStateTo(std::ostream& out) const {
+    static_assert(std::is_trivially_copyable_v<Value>);
+    const uint64_t magic = kStateMagic;
+    const uint64_t n = values_.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(values_.data()),
+              static_cast<std::streamsize>(n * sizeof(Value)));
+    out.write(reinterpret_cast<const char*>(parent_.data()),
+              static_cast<std::streamsize>(n * sizeof(VertexId)));
+    return static_cast<bool>(out);
+  }
+
+  bool LoadStateFrom(std::istream& in) {
+    uint64_t magic = 0;
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || magic != kStateMagic || n != graph_->num_vertices()) {
+      return false;
+    }
+    values_.resize(n);
+    parent_.resize(n);
+    in.read(reinterpret_cast<char*>(values_.data()),
+            static_cast<std::streamsize>(n * sizeof(Value)));
+    in.read(reinterpret_cast<char*>(parent_.data()),
+            static_cast<std::streamsize>(n * sizeof(VertexId)));
+    return static_cast<bool>(in);
+  }
+
   const std::vector<Value>& values() const { return values_; }
   const std::vector<VertexId>& parents() const { return parent_; }
   const EngineStats& stats() const { return stats_; }
 
  private:
+  static constexpr uint64_t kStateMagic = 0x47424B5353543031ULL;  // "GBKSST01"
+
   // Monotonic relaxation from a seed worklist until fixpoint.
   void Propagate(std::vector<VertexId> worklist) {
     std::vector<VertexId> next;

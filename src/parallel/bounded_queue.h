@@ -21,6 +21,8 @@
 #include <optional>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
+
 namespace graphbolt {
 
 template <typename T>
@@ -45,7 +47,12 @@ class BoundedQueue {
   }
 
   // Non-blocking push; returns false (item untouched) when full or closed.
+  // An armed FaultSite::kQueueFull makes it report full spuriously — only
+  // the non-blocking path, so the kBlock overflow policy stays lossless.
   bool TryPush(T&& item) {
+    if (GB_FAULT_POINT(injector_, FaultSite::kQueueFull)) {
+      return false;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ || items_.size() >= capacity_) {
       return false;
@@ -80,6 +87,20 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  // Reopens a closed queue, discarding anything still buffered — the
+  // crash-recovery restart path (StreamDriver::Recover drains survivors
+  // with Pop() first, then Resets before starting a fresh worker).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items_.clear();
+    closed_ = false;
+  }
+
+  // Test-only fault hook (no-op unless compiled with
+  // GRAPHBOLT_FAULT_INJECTION=1). Not synchronized: arm before producers
+  // start.
+  void ArmFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
@@ -106,6 +127,7 @@ class BoundedQueue {
   }
 
   const size_t capacity_;
+  FaultInjector* injector_ = nullptr;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace graphbolt {
 
@@ -41,6 +42,28 @@ class AccumulatingTimer {
  private:
   Timer timer_;
   double total_seconds_ = 0.0;
+};
+
+// Exponential-backoff sleeper for retry loops on the durable IO paths
+// (WAL appends, checkpoint writes): each Sleep() waits the current delay,
+// then multiplies it for the next attempt.
+class Backoff {
+ public:
+  Backoff(double initial_seconds, double multiplier)
+      : delay_seconds_(initial_seconds), multiplier_(multiplier) {}
+
+  // Sleeps for the current delay and advances to the next one.
+  void Sleep() {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds_));
+    delay_seconds_ *= multiplier_;
+  }
+
+  // The delay the next Sleep() will wait.
+  double next_delay_seconds() const { return delay_seconds_; }
+
+ private:
+  double delay_seconds_;
+  double multiplier_;
 };
 
 }  // namespace graphbolt

@@ -11,8 +11,12 @@
 #include "src/algorithms/sssp.h"
 #include "src/algorithms/triangle_counting.h"
 #include "src/core/graphbolt_engine.h"
+#include "src/driver/stream_driver.h"
 #include "src/engine/ligra_engine.h"
+#include "src/engine/reset_engine.h"
+#include "src/fault/checkpoint.h"
 #include "src/graph/generators.h"
+#include "src/parallel/thread_pool.h"
 #include "src/stream/update_stream.h"
 #include "src/util/random.h"
 #include "tests/test_util.h"
@@ -215,6 +219,118 @@ TEST_P(LabelSweep, RefinementEqualsRestart) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fractions, LabelSweep, testing::Values(0.0, 0.05, 0.25, 0.9));
+
+// ----- Recovery replay sweep ----------------------------------------------------
+//
+// Two properties of the checkpoint+WAL pair, across random streams:
+//  1. What the WAL records is what was applied — with gutter coalescing on,
+//     the journal holds the coalesced batches, so restore+replay lands
+//     bitwise on the live engine's state.
+//  2. Replaying a checkpoint tail twice equals replaying it once: batch
+//     application is last-wins per (src, dst), so a repeated full tail
+//     converges to the same graph, and a from-scratch engine to the same
+//     values.
+
+class RecoveryReplaySweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryReplaySweep, CoalescedJournalRecoversBitwise) {
+  ThreadPool::SetNumThreads(1);  // bitwise comparison needs one summation order
+  const uint64_t seed = GetParam();
+  ScopedTempDir tmp;
+  EdgeList full = GenerateRmat(400, 3200, {.seed = seed});
+  StreamSplit split = SplitForStreaming(full, 0.5, seed + 1);
+
+  MutableGraph graph(split.initial);
+  GraphBoltEngine<PageRank> engine(&graph, PageRank{});
+  engine.InitialCompute();
+  Checkpointer<GraphBoltEngine<PageRank>> checkpointer(
+      &engine, &graph, {.directory = tmp.path(), .cadence_batches = 4});
+  {
+    StreamDriver<GraphBoltEngine<PageRank>> driver(
+        &engine, {.batch_size = 48,
+                  .flush_interval_seconds = 3600.0,
+                  .coalesce = true,
+                  .checkpointer = &checkpointer});
+    ASSERT_TRUE(driver.CheckpointNow());
+    UpdateStream stream(split.held_back, seed + 2);
+    for (int round = 0; round < 10; ++round) {
+      const MutationBatch batch = stream.NextBatch(graph, {.size = 30, .add_fraction = 0.6});
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(driver.Ingest(batch[i]));
+        if (i % 7 == 0) {
+          ASSERT_TRUE(driver.Ingest(batch[i]));  // duplicate: gutter coalesces it
+        }
+      }
+    }
+    driver.Stop();
+    EXPECT_GT(driver.stats().mutations_coalesced, 0u);
+  }
+  const auto want_edges = graph.ToEdgeList().edges();
+  const auto want_values = engine.values();
+
+  MutableGraph cold_graph;
+  GraphBoltEngine<PageRank> cold(&cold_graph, PageRank{});
+  Checkpointer<GraphBoltEngine<PageRank>> restorer(&cold, &cold_graph,
+                                                   {.directory = tmp.path()});
+  uint64_t seq = 0;
+  ASSERT_TRUE(restorer.RestoreLatest(&seq));
+  restorer.ReplayWal(seq, [&](uint64_t, MutationBatch&& batch) { cold.ApplyMutations(batch); });
+  EXPECT_EQ(cold_graph.ToEdgeList().edges(), want_edges);
+  EXPECT_EQ(cold.values(), want_values);  // bitwise: identical history from seq
+}
+
+TEST_P(RecoveryReplaySweep, WalTailReplayedTwiceEqualsOnce) {
+  ThreadPool::SetNumThreads(1);
+  const uint64_t seed = GetParam();
+  ScopedTempDir tmp;
+  EdgeList full = GenerateRmat(400, 3200, {.seed = seed + 100});
+  StreamSplit split = SplitForStreaming(full, 0.5, seed + 101);
+
+  // ResetEngine: values are a pure function of the final graph, so the
+  // idempotence claim can be checked bitwise.
+  MutableGraph graph(split.initial);
+  ResetEngine<PageRank> engine(&graph, PageRank{});
+  engine.InitialCompute();
+  Checkpointer<ResetEngine<PageRank>> checkpointer(
+      &engine, &graph, {.directory = tmp.path(), .cadence_batches = 5});
+  {
+    StreamDriver<ResetEngine<PageRank>> driver(
+        &engine, {.batch_size = 1u << 20,
+                  .flush_interval_seconds = 3600.0,
+                  .coalesce = false,
+                  .checkpointer = &checkpointer});
+    ASSERT_TRUE(driver.CheckpointNow());
+    UpdateStream stream(split.held_back, seed + 102);
+    for (int round = 0; round < 12; ++round) {
+      const MutationBatch batch = stream.NextBatch(graph, {.size = 30, .add_fraction = 0.6});
+      ASSERT_EQ(driver.IngestBatch(batch), batch.size());
+      driver.Flush();
+    }
+    driver.Stop();
+  }
+  const auto want_edges = graph.ToEdgeList().edges();
+  const auto want_values = engine.values();
+
+  MutableGraph cold_graph;
+  ResetEngine<PageRank> cold(&cold_graph, PageRank{});
+  Checkpointer<ResetEngine<PageRank>> restorer(&cold, &cold_graph, {.directory = tmp.path()});
+  uint64_t seq = 0;
+  ASSERT_TRUE(restorer.RestoreLatest(&seq));
+  const auto apply = [&](uint64_t, MutationBatch&& batch) { cold.ApplyMutations(batch); };
+  const size_t once = restorer.ReplayWal(seq, apply);
+  ASSERT_GE(once, 1u);
+  EXPECT_EQ(cold_graph.ToEdgeList().edges(), want_edges);
+  EXPECT_EQ(cold.values(), want_values);
+
+  // The whole tail again, without restoring in between: last-wins batch
+  // semantics make the second pass land on the identical state.
+  const size_t twice = restorer.ReplayWal(seq, apply);
+  EXPECT_EQ(twice, once);
+  EXPECT_EQ(cold_graph.ToEdgeList().edges(), want_edges);
+  EXPECT_EQ(cold.values(), want_values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryReplaySweep, testing::Values(301u, 302u, 303u));
 
 }  // namespace
 }  // namespace graphbolt

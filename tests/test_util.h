@@ -1,16 +1,46 @@
 // Shared helpers for engine tests: value comparison across scalar and
-// array-valued algorithms, and differential checks between engines.
+// array-valued algorithms, differential checks between engines, and a
+// self-cleaning temp directory for checkpoint/serialization tests.
 #ifndef TESTS_TEST_UTIL_H_
 #define TESTS_TEST_UTIL_H_
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "src/graph/edge_list.h"
 #include "src/graph/types.h"
 
 namespace graphbolt {
+
+// A unique directory under the system temp root, removed (recursively) on
+// destruction. Checkpoint and WAL tests write real files through it.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "graphbolt_test") {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / (prefix + ".XXXXXX")).string();
+    if (::mkdtemp(pattern.data()) == nullptr) {
+      std::filesystem::create_directories(pattern);  // loud fallback path
+    }
+    path_ = pattern;
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
 
 inline double ValueGap(double a, double b) { return std::fabs(a - b); }
 

@@ -3,8 +3,13 @@
 // and work. The adoption entry point for trying the library on real data:
 //
 //   graphbolt_cli --graph edges.txt --algo pagerank --batches 10 --batch-size 1000
-//   graphbolt_cli --rmat-vertices 100000 --rmat-edges 1000000 --algo sssp \
+//   graphbolt_cli --rmat-vertices 100000 --rmat-edges 1000000 --algo sssp
 //                 --engine graphbolt --source 0 --output dists.txt
+//
+// With --checkpoint-dir the stream runs through a checkpointing StreamDriver
+// (WAL + cadence checkpoints); --verify-recovery then cold-recovers into a
+// fresh engine afterwards and exits nonzero unless the recovered values are
+// bitwise identical.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -27,6 +32,10 @@ struct CliConfig {
   double add_fraction;
   VertexId source;
   std::string output;
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every;
+  std::string overflow;
+  bool verify_recovery;
 };
 
 // Writes one value per line ("vertex value...").
@@ -44,8 +53,109 @@ void WriteScalar(std::ofstream& out, VertexId v, const std::array<T, N>& value) 
   out << "\n";
 }
 
-template <typename Engine>
-int Stream(Engine& engine, MutableGraph& graph, StreamSplit& split, const CliConfig& config) {
+// Streams through a checkpointing driver; with --verify-recovery, rebuilds
+// the engine cold from disk and diffs it bitwise against the live one.
+// `make_engine` constructs an identically-configured engine on a new graph.
+template <typename Engine, typename MakeEngine>
+int StreamDurable(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
+                  StreamSplit& split, const CliConfig& config) {
+  using Driver = StreamDriver<Engine>;
+  typename Driver::OverflowPolicy overflow = Driver::OverflowPolicy::kBlock;
+  if (config.overflow == "drop") {
+    overflow = Driver::OverflowPolicy::kDropNewest;
+  } else if (config.overflow == "shed") {
+    overflow = Driver::OverflowPolicy::kShedToWal;
+  } else if (config.overflow != "block") {
+    std::printf("unknown overflow policy: %s (block | drop | shed)\n", config.overflow.c_str());
+    return 1;
+  }
+
+  Timer total;
+  engine.InitialCompute();
+  std::printf("initial compute: %.2f ms, %llu edge computations, %u iterations\n",
+              engine.stats().seconds * 1e3,
+              static_cast<unsigned long long>(engine.stats().edges_processed),
+              engine.stats().iterations);
+
+  Checkpointer<Engine> checkpointer(
+      &engine, &graph,
+      {.directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
+  {
+    Driver driver(&engine, {.batch_size = config.batch_size,
+                            .flush_interval_seconds = 3600.0,
+                            .overflow = overflow,
+                            .coalesce = false,
+                            .checkpointer = &checkpointer});
+    driver.CheckpointNow();  // baseline: recoverable before the first batch
+
+    UpdateStream stream(split.held_back, 99);
+    for (size_t b = 0; b < config.batches; ++b) {
+      // The barrier below keeps `graph` quiescent here, so batch generation
+      // (which inspects it for deletable edges) sees applied state.
+      const MutationBatch batch = stream.NextBatch(
+          graph, {.size = config.batch_size, .add_fraction = config.add_fraction});
+      driver.IngestBatch(batch);
+      driver.Flush();
+      driver.PrepQuery();
+      std::printf("batch %zu: %zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
+                  batch.size(), engine.stats().seconds * 1e3,
+                  engine.stats().mutation_seconds * 1e3);
+    }
+    driver.Stop();
+    const EngineStats stats = driver.stats();
+    std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
+                static_cast<unsigned long long>(stats.checkpoints_written),
+                stats.checkpoint_seconds * 1e3,
+                static_cast<unsigned long long>(stats.wal_appends),
+                static_cast<unsigned long long>(stats.mutations_shed_to_wal),
+                config.checkpoint_dir.c_str());
+  }
+  std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",
+              total.Seconds() * 1e3, graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  if (config.verify_recovery) {
+    Timer recovery;
+    MutableGraph cold_graph;
+    Engine cold = make_engine(&cold_graph);
+    Checkpointer<Engine> restorer(
+        &cold, &cold_graph,
+        {.directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
+    StreamDriver<Engine> cold_driver(&cold, {.checkpointer = &restorer});
+    if (!cold_driver.Recover()) {
+      std::printf("recovery FAILED: no valid checkpoint in %s\n", config.checkpoint_dir.c_str());
+      return 1;
+    }
+    cold_driver.Stop();
+    if (cold.values().size() != engine.values().size()) {
+      std::printf("recovery FAILED: %zu recovered values vs %zu live\n", cold.values().size(),
+                  engine.values().size());
+      return 1;
+    }
+    size_t mismatches = 0;
+    for (size_t v = 0; v < cold.values().size(); ++v) {
+      if (!(cold.values()[v] == engine.values()[v])) {
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0 || cold_graph.num_edges() != graph.num_edges()) {
+      std::printf("recovery FAILED: %zu value mismatches, %llu vs %llu edges\n", mismatches,
+                  static_cast<unsigned long long>(cold_graph.num_edges()),
+                  static_cast<unsigned long long>(graph.num_edges()));
+      return 1;
+    }
+    std::printf("recovery verified: %zu values bitwise identical (%.2f ms)\n",
+                cold.values().size(), recovery.Seconds() * 1e3);
+  }
+  return 0;
+}
+
+template <typename Engine, typename MakeEngine>
+int Stream(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph, StreamSplit& split,
+           const CliConfig& config) {
+  if (!config.checkpoint_dir.empty()) {
+    return StreamDurable(engine, make_engine, graph, split, config);
+  }
   Timer total;
   engine.InitialCompute();
   std::printf("initial compute: %.2f ms, %llu edge computations, %u iterations\n",
@@ -83,32 +193,38 @@ int Stream(Engine& engine, MutableGraph& graph, StreamSplit& split, const CliCon
 
 template <typename Algo>
 int Dispatch(Algo algo, MutableGraph& graph, StreamSplit& split, const CliConfig& config) {
+  // `algo` is copied into both the live engine and the make-lambda so
+  // --verify-recovery can construct an identically-configured cold engine.
   if (config.engine == "graphbolt") {
-    GraphBoltEngine<Algo> engine(&graph, std::move(algo),
-                                 {.max_iterations = config.iterations,
-                                  .run_to_convergence = config.convergence,
-                                  .history_size = config.history});
-    return Stream(engine, graph, split, config);
+    const typename GraphBoltEngine<Algo>::Options options{.max_iterations = config.iterations,
+                                                          .run_to_convergence = config.convergence,
+                                                          .history_size = config.history};
+    GraphBoltEngine<Algo> engine(&graph, algo, options);
+    auto make = [=](MutableGraph* g) { return GraphBoltEngine<Algo>(g, algo, options); };
+    return Stream(engine, make, graph, split, config);
   }
   if (config.engine == "graphbolt-compact") {
-    GraphBoltEngine<Algo, CompactDependencyStore<typename Algo::Aggregate>> engine(
-        &graph, std::move(algo),
-        {.max_iterations = config.iterations,
-         .run_to_convergence = config.convergence,
-         .history_size = config.history});
-    return Stream(engine, graph, split, config);
+    using Engine = GraphBoltEngine<Algo, CompactDependencyStore<typename Algo::Aggregate>>;
+    const typename Engine::Options options{.max_iterations = config.iterations,
+                                           .run_to_convergence = config.convergence,
+                                           .history_size = config.history};
+    Engine engine(&graph, algo, options);
+    auto make = [=](MutableGraph* g) { return Engine(g, algo, options); };
+    return Stream(engine, make, graph, split, config);
   }
   if (config.engine == "reset") {
-    ResetEngine<Algo> engine(&graph, std::move(algo),
-                             {.max_iterations = config.iterations,
-                              .run_to_convergence = config.convergence});
-    return Stream(engine, graph, split, config);
+    const typename ResetEngine<Algo>::Options options{.max_iterations = config.iterations,
+                                                      .run_to_convergence = config.convergence};
+    ResetEngine<Algo> engine(&graph, algo, options);
+    auto make = [=](MutableGraph* g) { return ResetEngine<Algo>(g, algo, options); };
+    return Stream(engine, make, graph, split, config);
   }
   if (config.engine == "ligra") {
-    LigraEngine<Algo> engine(&graph, std::move(algo),
-                             {.max_iterations = config.iterations,
-                              .run_to_convergence = config.convergence});
-    return Stream(engine, graph, split, config);
+    const typename LigraEngine<Algo>::Options options{.max_iterations = config.iterations,
+                                                      .run_to_convergence = config.convergence};
+    LigraEngine<Algo> engine(&graph, algo, options);
+    auto make = [=](MutableGraph* g) { return LigraEngine<Algo>(g, algo, options); };
+    return Stream(engine, make, graph, split, config);
   }
   std::printf("unknown engine: %s (graphbolt | graphbolt-compact | reset | ligra)\n", config.engine.c_str());
   return 1;
@@ -134,6 +250,11 @@ int Main(int argc, char** argv) {
   args.AddInt("source", 0, "source vertex for sssp/bfs/widest/ppr");
   args.AddInt("threads", 0, "worker threads (0 = hardware)");
   args.AddString("output", "", "write final per-vertex values to this file");
+  args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
+  args.AddInt("checkpoint-every", 8, "checkpoint cadence in batches (0 = WAL only)");
+  args.AddString("overflow", "block", "backpressure policy: block | drop | shed");
+  args.AddBool("verify-recovery", false,
+               "after streaming, cold-recover from --checkpoint-dir and diff bitwise");
   if (!args.Parse(argc, argv)) {
     return 1;
   }
@@ -170,6 +291,10 @@ int Main(int argc, char** argv) {
       .add_fraction = args.GetDouble("add-fraction"),
       .source = static_cast<VertexId>(args.GetInt("source")),
       .output = args.GetString("output"),
+      .checkpoint_dir = args.GetString("checkpoint-dir"),
+      .checkpoint_every = static_cast<uint64_t>(args.GetInt("checkpoint-every")),
+      .overflow = args.GetString("overflow"),
+      .verify_recovery = args.GetBool("verify-recovery"),
   };
 
   const std::string algo = args.GetString("algo");

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the concurrency + fault test tiers under AddressSanitizer and
+# ThreadSanitizer. These are the tiers that exercise the StreamDriver
+# pipeline, fault-injection sites, and checkpoint/recovery paths, so they
+# are the ones most likely to hide races or lifetime bugs.
+#
+# Usage:
+#   tools/run_sanitized_tests.sh            # both sanitizers
+#   tools/run_sanitized_tests.sh address    # just one
+#
+# Each sanitizer gets its own build tree (build-asan/, build-tsan/) next to
+# the source so the regular build/ stays untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
+  SANITIZERS=(address thread)
+fi
+
+# Test targets carrying the `concurrency` or `fault` ctest labels
+# (see tests/CMakeLists.txt and tools/CMakeLists.txt).
+TARGETS=(driver_test parallel_test fault_recovery_test store_serialization_test
+         graphbolt_cli example_streaming_service)
+
+for san in "${SANITIZERS[@]}"; do
+  case "$san" in
+    address) dir=build-asan ;;
+    thread) dir=build-tsan ;;
+    *) dir="build-$san" ;;
+  esac
+  echo "=== sanitizer: $san (build dir: $dir) ==="
+  cmake -B "$dir" -S . -DGRAPHBOLT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$(nproc)" --target "${TARGETS[@]}"
+  ctest --test-dir "$dir" -L "concurrency|fault" --output-on-failure -j "$(nproc)"
+  echo "=== $san: OK ==="
+done
