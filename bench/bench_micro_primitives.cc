@@ -9,6 +9,7 @@
 #include "src/core/dependency_store.h"
 #include "src/core/graphbolt_engine.h"
 #include "src/engine/ligra_engine.h"
+#include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/graph/mutable_graph.h"
 #include "src/parallel/atomics.h"

@@ -12,7 +12,9 @@
 #define BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/streaming_engine.h"
@@ -110,6 +112,56 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
 }
+
+// ----- Perf-trajectory JSON --------------------------------------------------
+// Minimal row-oriented JSON emitter: a bench accumulates flat rows of
+// string/number fields and writes BENCH_<name>.json
+// ({"bench": ..., "rows": [{...}, ...]}) so successive CI runs can be
+// diffed or plotted without scraping stdout tables. Keys and string values
+// are emitted verbatim — callers use plain identifiers, no escaping.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  // Starts a new row; chain Str()/Num() to fill it.
+  BenchJson& Row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& Str(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + value + "\"");
+    return *this;
+  }
+  BenchJson& Num(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+
+  std::string DefaultPath() const { return "BENCH_" + name_ + ".json"; }
+
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        out << (f ? ", " : "") << "\"" << rows_[r][f].first << "\": " << rows_[r][f].second;
+      }
+      out << (r + 1 < rows_.size() ? "}," : "}") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace graphbolt
 

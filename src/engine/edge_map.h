@@ -21,6 +21,7 @@
 #include "src/engine/vertex_subset.h"
 #include "src/graph/mutable_graph.h"
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/reducer.h"
 
 namespace graphbolt {
 
@@ -87,10 +88,14 @@ VertexSubset EdgeMap(const MutableGraph& graph, const VertexSubset& frontier, Ed
   if (options.force_dense) {
     return EdgeMapDense(graph, frontier, f);
   }
-  uint64_t frontier_edges = 0;
-  for (const VertexId u : frontier.members()) {
-    frontier_edges += graph.OutDegree(u);
-  }
+  // Frontier out-degree sum for the direction choice, in parallel — on
+  // dense frontiers the serial sum was itself a full O(V) pass before any
+  // edge work started. ParallelReduceSum falls back to one serial chunk
+  // below its grain, so sparse frontiers pay no fork-join overhead.
+  const auto& members = frontier.members();
+  const uint64_t frontier_edges = ParallelReduceSum<uint64_t>(
+      0, members.size(),
+      [&](size_t i) { return static_cast<uint64_t>(graph.OutDegree(members[i])); });
   if (frontier_edges > graph.num_edges() / options.denseness_denominator) {
     return EdgeMapDense(graph, frontier, f);
   }

@@ -39,29 +39,53 @@ class VertexSubset {
 
   void Add(VertexId v) { members_.push_back(v); }
 
-  // Sorts and removes duplicate members.
+  // Sorts and removes duplicate members. Dedup preserves the member *set*,
+  // so a fully-built dense view stays valid; a partially-built one is
+  // cleared by members (O(|subset|), not O(universe)) since index-based
+  // incremental bookkeeping does not survive the reorder.
   void Normalize() {
+    const bool dense_complete = dense_applied_ == members_.size() && dense_applied_ > 0;
     std::sort(members_.begin(), members_.end());
     members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+    if (dense_complete) {
+      dense_applied_ = members_.size();
+    } else if (dense_applied_ > 0) {
+      for (const VertexId v : members_) {
+        dense_.Clear(v);
+      }
+      dense_applied_ = 0;
+    }
   }
 
-  // Builds (or rebuilds) the dense membership bitset.
+  // Dense membership bitset, memoized: a second call on an unchanged subset
+  // is O(1), and members added since the last call are applied
+  // incrementally rather than rebuilding from scratch.
   const AtomicBitset& Dense() const {
     if (dense_.size() != universe_) {
       dense_.Resize(universe_);
-    } else {
-      dense_.ClearAll();
+      dense_applied_ = 0;
     }
-    for (const VertexId v : members_) {
-      dense_.Set(v);
+    for (size_t i = dense_applied_; i < members_.size(); ++i) {
+      dense_.Set(members_[i]);
     }
+    dense_applied_ = members_.size();
     return dense_;
+  }
+
+  // Installs an externally-built bitset as the valid dense view. `bits`
+  // must be sized to the universe and hold exactly the member set —
+  // FrontierBuilder::Take hands over its claim bitset this way so EdgeMap's
+  // dense direction never rebuilds what the builder already has.
+  void AdoptDense(AtomicBitset bits) {
+    dense_ = std::move(bits);
+    dense_applied_ = members_.size();
   }
 
  private:
   VertexId universe_ = 0;
   std::vector<VertexId> members_;
   mutable AtomicBitset dense_;
+  mutable size_t dense_applied_ = 0;  // members_[0..dense_applied_) are set in dense_
 };
 
 // Concurrent frontier builder: threads claim membership through an atomic
@@ -76,7 +100,10 @@ class FrontierBuilder {
   bool Contains(VertexId v) const { return claimed_.Test(v); }
 
   // Collects all claimed vertices into a subset. O(universe) scan; fine for
-  // the scales this repository targets.
+  // the scales this repository targets. The claim bitset is copied into the
+  // subset as its ready-made dense view (an O(universe/64) word copy, noise
+  // next to the scan), so EdgeMap's dense direction never rebuilds it — and
+  // the builder stays usable for further claims.
   VertexSubset Take() const {
     VertexSubset subset(universe_);
     for (VertexId v = 0; v < universe_; ++v) {
@@ -84,6 +111,7 @@ class FrontierBuilder {
         subset.Add(v);
       }
     }
+    subset.AdoptDense(claimed_);
     return subset;
   }
 

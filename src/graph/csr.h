@@ -2,6 +2,11 @@
 // described in §4.1 of the paper. A Csr stores out-edges; the same structure
 // built from reversed edges serves as the CSC (in-edge) view.
 //
+// This is the *reference* implementation: ApplyEdits rebuilds the whole
+// structure (O(V+E) per batch). The live graph (MutableGraph) uses SlackCsr
+// (slack_csr.h) for O(batch) in-place mutation; Csr stays as the oracle the
+// differential fuzz tests and the old-path benchmark compare against.
+//
 // Neighbor lists are kept sorted by target id, which gives O(log d) edge
 // lookup and linear-merge set intersection for Triangle Counting.
 #ifndef SRC_GRAPH_CSR_H_

@@ -6,11 +6,54 @@
 #include "src/util/logging.h"
 
 namespace graphbolt {
+namespace {
+
+// Groups normalized adds/deletes into per-touched-vertex edit lists keyed by
+// `key` (src for the CSR view, dst for the CSC view). Scratch is O(batch):
+// the ops are sorted by (key, target) and swept once.
+std::vector<SlackCsr::VertexEdits> GroupEdits(const AppliedMutations& result, bool key_by_dst) {
+  struct Op {
+    VertexId key;
+    VertexId target;
+    Weight weight;
+    bool is_add;
+  };
+  std::vector<Op> ops;
+  ops.reserve(result.added.size() + result.deleted.size());
+  for (const Edge& e : result.added) {
+    ops.push_back(key_by_dst ? Op{e.dst, e.src, e.weight, true} : Op{e.src, e.dst, e.weight, true});
+  }
+  for (const Edge& e : result.deleted) {
+    ops.push_back(key_by_dst ? Op{e.dst, e.src, e.weight, false}
+                             : Op{e.src, e.dst, e.weight, false});
+  }
+  std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+    if (a.key != b.key) {
+      return a.key < b.key;
+    }
+    return a.target < b.target;
+  });
+
+  std::vector<SlackCsr::VertexEdits> edits;
+  for (const Op& op : ops) {
+    if (edits.empty() || edits.back().vertex != op.key) {
+      edits.push_back({op.key, {}, {}});
+    }
+    if (op.is_add) {
+      edits.back().adds.push_back({op.target, op.weight});
+    } else {
+      edits.back().deletes.push_back(op.target);
+    }
+  }
+  return edits;
+}
+
+}  // namespace
 
 MutableGraph::MutableGraph(EdgeList edges) {
   edges.SortAndDeduplicate();
-  out_ = Csr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/false);
-  in_ = Csr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/true);
+  out_ = SlackCsr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/false);
+  in_ = SlackCsr::FromEdges(edges.num_vertices(), edges.edges(), /*reverse=*/true);
 }
 
 VertexId MutableGraph::AddVertices(VertexId count) {
@@ -77,33 +120,14 @@ AppliedMutations MutableGraph::ApplyBatch(const MutationBatch& batch) {
   }
 
   result = NormalizeBatch(batch);
-
-  const VertexId n = num_vertices();
-  std::vector<std::vector<VertexId>> out_deletes(n);
-  std::vector<std::vector<std::pair<VertexId, Weight>>> out_adds(n);
-  std::vector<std::vector<VertexId>> in_deletes(n);
-  std::vector<std::vector<std::pair<VertexId, Weight>>> in_adds(n);
-
-  for (const Edge& e : result.added) {
-    out_adds[e.src].push_back({e.dst, e.weight});
-    in_adds[e.dst].push_back({e.src, e.weight});
-  }
-  for (const Edge& e : result.deleted) {
-    out_deletes[e.src].push_back(e.dst);
-    in_deletes[e.dst].push_back(e.src);
+  if (result.Empty()) {
+    return result;
   }
 
-  // std::map iteration gives (src, dst) order so out_* lists are already
-  // sorted by target; in_* need a sort per touched vertex.
-  for (auto& v : in_deletes) {
-    std::sort(v.begin(), v.end());
-  }
-  for (auto& v : in_adds) {
-    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) { return a.first < b.first; });
-  }
-
-  out_.ApplyEdits(out_deletes, out_adds);
-  in_.ApplyEdits(in_deletes, in_adds);
+  const std::vector<SlackCsr::VertexEdits> out_edits = GroupEdits(result, /*key_by_dst=*/false);
+  const std::vector<SlackCsr::VertexEdits> in_edits = GroupEdits(result, /*key_by_dst=*/true);
+  out_.ApplyEdits(out_edits);
+  in_.ApplyEdits(in_edits);
   return result;
 }
 

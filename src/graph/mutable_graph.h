@@ -1,18 +1,23 @@
-// The streaming graph of §4.1: dual CSR/CSC with batched two-pass mutation.
+// The streaming graph of §4.1: dual slack-CSR/CSC with batched in-place
+// mutation.
 //
-// Out-edges live in a CSR and in-edges in a CSC so engines can push (sparse
-// frontiers) or pull (dense iterations / non-decomposable re-evaluation).
-// Mutation batches are normalized (dedup, drop no-ops) and applied to both
-// views atomically; the normalized (Ea, Ed) result feeds refinement.
+// Out-edges live in a SlackCsr and in-edges in a reversed SlackCsr so
+// engines can push (sparse frontiers) or pull (dense iterations /
+// non-decomposable re-evaluation). Mutation batches are normalized (dedup,
+// drop no-ops) and spliced into both views atomically, touching only the
+// affected vertices — O(batch impact), not O(V+E); the normalized (Ea, Ed)
+// result feeds refinement. The rebuild-on-apply Csr remains available as
+// the reference implementation (csr.h) for differential tests and the
+// old-path benchmark.
 #ifndef SRC_GRAPH_MUTABLE_GRAPH_H_
 #define SRC_GRAPH_MUTABLE_GRAPH_H_
 
 #include <span>
 #include <vector>
 
-#include "src/graph/csr.h"
 #include "src/graph/edge_list.h"
 #include "src/graph/mutation.h"
+#include "src/graph/slack_csr.h"
 #include "src/graph/types.h"
 
 namespace graphbolt {
@@ -27,8 +32,8 @@ class MutableGraph {
   VertexId num_vertices() const { return out_.num_vertices(); }
   EdgeIndex num_edges() const { return out_.num_edges(); }
 
-  const Csr& out() const { return out_; }
-  const Csr& in() const { return in_; }
+  const SlackCsr& out() const { return out_; }
+  const SlackCsr& in() const { return in_; }
 
   size_t OutDegree(VertexId v) const { return out_.Degree(v); }
   size_t InDegree(VertexId v) const { return in_.Degree(v); }
@@ -51,9 +56,10 @@ class MutableGraph {
   // range are treated as isolated vertices.
   AppliedMutations NormalizeBatch(const MutationBatch& batch) const;
 
-  // Applies a batch atomically to both CSR and CSC. Mutations that reference
-  // vertices >= num_vertices() grow the vertex set first. Returns the
-  // normalized effect (see NormalizeBatch).
+  // Applies a batch atomically to both CSR and CSC views. Mutations that
+  // reference vertices >= num_vertices() grow the vertex set first. Scratch
+  // is sized by touched vertices, not V, so a 1-edge batch allocates O(1).
+  // Returns the normalized effect (see NormalizeBatch).
   AppliedMutations ApplyBatch(const MutationBatch& batch);
 
   // Exports all edges (sorted by (src, dst)); used by tests and snapshots.
@@ -62,8 +68,8 @@ class MutableGraph {
   bool CheckInvariants() const { return out_.CheckInvariants() && in_.CheckInvariants() && out_.num_edges() == in_.num_edges(); }
 
  private:
-  Csr out_;
-  Csr in_;
+  SlackCsr out_;
+  SlackCsr in_;
 };
 
 }  // namespace graphbolt

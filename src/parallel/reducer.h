@@ -44,6 +44,42 @@ T ExclusivePrefixSum(std::vector<T>& values) {
   return running;
 }
 
+// Parallel exclusive prefix sum of `values` in place; returns the grand
+// total. Two-pass blocked scan: per-block totals in parallel, a serial scan
+// over the (few) block totals, then a parallel fix-up pass. Small inputs
+// fall back to the serial ExclusivePrefixSum. This backs the offset pass of
+// SlackCsr compaction, where V is large enough for the blocks to matter.
+template <typename T>
+T ParallelPrefixSum(std::vector<T>& values, size_t grain = 4096) {
+  const size_t n = values.size();
+  if (n < 2 * grain) {
+    return ExclusivePrefixSum(values);
+  }
+  const size_t num_blocks = (n + grain - 1) / grain;
+  std::vector<T> block_totals(num_blocks);
+  ParallelFor(0, num_blocks, [&](size_t b) {
+    const size_t lo = b * grain;
+    const size_t hi = lo + grain < n ? lo + grain : n;
+    T local{};
+    for (size_t i = lo; i < hi; ++i) {
+      local += values[i];
+    }
+    block_totals[b] = local;
+  }, /*grain=*/1);
+  const T total = ExclusivePrefixSum(block_totals);
+  ParallelFor(0, num_blocks, [&](size_t b) {
+    const size_t lo = b * grain;
+    const size_t hi = lo + grain < n ? lo + grain : n;
+    T running = block_totals[b];
+    for (size_t i = lo; i < hi; ++i) {
+      const T next = running + values[i];
+      values[i] = running;
+      running = next;
+    }
+  }, /*grain=*/1);
+  return total;
+}
+
 // Maximum of body(i) over [begin, end); returns `init` for empty ranges.
 template <typename T, typename Body>
 T ParallelReduceMax(size_t begin, size_t end, const Body& body, T init) {

@@ -33,12 +33,13 @@ bool UpdateStream::SampleExistingEdge(const MutableGraph& graph, Edge* edge) {
     return false;
   }
   const EdgeIndex pick = rng_.NextBounded(num_edges);
-  // Locate the source vertex owning offset `pick` via binary search on the
-  // CSR offsets.
-  const auto& offsets = graph.out().offsets();
-  auto it = std::upper_bound(offsets.begin(), offsets.end(), pick);
-  const VertexId src = static_cast<VertexId>((it - offsets.begin()) - 1);
-  const EdgeIndex slot = pick - offsets[src];
+  // Locate the source vertex owning rank `pick` via binary search on the
+  // cumulative out-degree array (slack segments are not contiguous across
+  // vertices, so arena offsets no longer double as edge ranks).
+  const auto& prefix = graph.out().DegreePrefix();
+  auto it = std::upper_bound(prefix.begin(), prefix.end(), pick);
+  const VertexId src = static_cast<VertexId>((it - prefix.begin()) - 1);
+  const EdgeIndex slot = pick - prefix[src];
   edge->src = src;
   edge->dst = graph.out().Neighbors(src)[slot];
   edge->weight = graph.out().Weights(src)[slot];

@@ -144,47 +144,8 @@ TEST_P(FuzzSweep, LabelPropagationConvergenceMode) {
   }
 }
 
-// Seed selection for CI sharding. Three forms, in precedence order:
-//   GRAPHBOLT_FUZZ_SEEDS="101,102,103"          explicit list
-//   GRAPHBOLT_FUZZ_SEED_BASE=N [.._COUNT=K]     the range [N, N+K)
-//   (neither set)                               the default seeds 1..8
-// A sharded CI job gives each shard its own BASE; a reproduction run pins
-// the single failing seed with SEEDS. COUNT defaults to 8.
-std::vector<uint64_t> FuzzSeeds() {
-  std::vector<uint64_t> seeds;
-  if (const char* list = std::getenv("GRAPHBOLT_FUZZ_SEEDS")) {
-    std::string token;
-    for (const char* p = list;; ++p) {
-      if (*p == ',' || *p == '\0') {
-        if (!token.empty()) {
-          seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
-          token.clear();
-        }
-        if (*p == '\0') {
-          break;
-        }
-      } else {
-        token.push_back(*p);
-      }
-    }
-    if (!seeds.empty()) {
-      return seeds;
-    }
-  }
-  uint64_t base = 1;
-  uint64_t count = 8;
-  if (const char* b = std::getenv("GRAPHBOLT_FUZZ_SEED_BASE")) {
-    base = std::strtoull(b, nullptr, 10);
-  }
-  if (const char* c = std::getenv("GRAPHBOLT_FUZZ_SEED_COUNT")) {
-    count = std::strtoull(c, nullptr, 10);
-  }
-  for (uint64_t s = 0; s < count; ++s) {
-    seeds.push_back(base + s);
-  }
-  return seeds;
-}
-
+// Seed selection (env-sharded) lives in tests/test_util.h so every fuzz
+// target shards identically in CI.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, testing::ValuesIn(FuzzSeeds()));
 
 }  // namespace

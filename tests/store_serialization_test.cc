@@ -259,6 +259,55 @@ TEST(CheckpointFormat, TornNewestFallsBackToOlder) {
   EXPECT_EQ(seq, 3u);  // fell back past the torn seq-6 file
 }
 
+// The graph section of a checkpoint is an edge-list snapshot, not the
+// adjacency structure itself — so swapping the in-memory representation
+// from rebuild-Csr to SlackCsr must NOT change the on-disk format. This
+// test assembles a version-1 file byte-by-byte from the documented layout
+// (the bytes a pre-SlackCsr writer produced) and proves the current reader
+// restores it into the slack representation identically. If the graph
+// section ever changes shape, kCheckpointVersion must bump and this test
+// must grow a load path for both versions.
+TEST(CheckpointFormat, PreSlackCsrV1BytesStillLoad) {
+  ASSERT_EQ(kCheckpointVersion, 1u) << "version bumped: add a dual-format load test";
+  ScopedTempDir tmp;
+  MutableGraph graph(GenerateRmat(60, 300, {.seed = 5}));
+  CkptEngine engine(&graph, PageRank{});
+  engine.InitialCompute();
+
+  // The engine payload is representation-independent; capture it directly.
+  std::ostringstream engine_bytes;
+  ASSERT_TRUE(engine.SaveStateTo(engine_bytes));
+  const EdgeList snapshot = graph.ToEdgeList();
+
+  // Assemble the v1 envelope by hand: u64 magic, u32 version, u64 seq,
+  // u64 V, u64 E, packed Edge structs, engine payload, u64 footer.
+  std::ostringstream file;
+  auto put = [&file](const auto& v) {
+    file.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(kCheckpointMagic);
+  put(kCheckpointVersion);
+  put(uint64_t{13});
+  put(static_cast<uint64_t>(snapshot.num_vertices()));
+  put(static_cast<uint64_t>(snapshot.num_edges()));
+  file.write(reinterpret_cast<const char*>(snapshot.edges().data()),
+             static_cast<std::streamsize>(snapshot.edges().size() * sizeof(Edge)));
+  const std::string payload = engine_bytes.str();
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put(kCheckpointFooter);
+  Dump(tmp.File("checkpoint-00000000000000000013.ckpt"), file.str());
+
+  MutableGraph cold_graph;
+  CkptEngine cold_engine(&cold_graph, PageRank{});
+  Ckpt restorer(&cold_engine, &cold_graph, {.directory = tmp.path()});
+  uint64_t seq = 0;
+  ASSERT_TRUE(restorer.RestoreLatest(&seq));
+  EXPECT_EQ(seq, 13u);
+  EXPECT_EQ(cold_graph.ToEdgeList().edges(), snapshot.edges());
+  EXPECT_EQ(cold_engine.values(), engine.values());
+  EXPECT_TRUE(cold_graph.CheckInvariants());
+}
+
 // ----- WAL record format -----------------------------------------------------
 
 TEST(WalFormat, TornTailIsToleratedAndReplayStopsCleanly) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Runs the concurrency + fault test tiers under AddressSanitizer and
-# ThreadSanitizer. These are the tiers that exercise the StreamDriver
-# pipeline, fault-injection sites, and checkpoint/recovery paths, so they
-# are the ones most likely to hide races or lifetime bugs.
+# Runs the concurrency + fault + graph test tiers under AddressSanitizer
+# and ThreadSanitizer. These are the tiers that exercise the StreamDriver
+# pipeline, fault-injection sites, checkpoint/recovery paths, and the
+# slack-CSR in-place mutation arena (pointer arithmetic + parallel splices:
+# prime ASan/TSan material), so they are the ones most likely to hide
+# races or lifetime bugs.
 #
 # Usage:
 #   tools/run_sanitized_tests.sh            # both sanitizers
@@ -19,9 +21,10 @@ if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
   SANITIZERS=(address thread)
 fi
 
-# Test targets carrying the `concurrency` or `fault` ctest labels
+# Test targets carrying the `concurrency`, `fault`, or `graph` ctest labels
 # (see tests/CMakeLists.txt and tools/CMakeLists.txt).
 TARGETS=(driver_test parallel_test fault_recovery_test store_serialization_test
+         graph_test mutable_graph_test slack_csr_fuzz_test
          graphbolt_cli example_streaming_service)
 
 for san in "${SANITIZERS[@]}"; do
@@ -33,6 +36,6 @@ for san in "${SANITIZERS[@]}"; do
   echo "=== sanitizer: $san (build dir: $dir) ==="
   cmake -B "$dir" -S . -DGRAPHBOLT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$(nproc)" --target "${TARGETS[@]}"
-  ctest --test-dir "$dir" -L "concurrency|fault" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$dir" -L "concurrency|fault|graph" --output-on-failure -j "$(nproc)"
   echo "=== $san: OK ==="
 done
