@@ -14,8 +14,17 @@
 // --smoke: tiny inputs, no timing table, no JSON. Asserts the O(batch)
 // property on deterministic ApplyStats counters (spliced work must scale
 // sublinearly in |E| and touched vertices must be bounded by the batch),
-// exiting nonzero on violation. Wired as the `perf`-labeled ctest.
+// plus a delete-heavy sweep asserting that background compaction keeps
+// every ApplyBatch free of synchronous compaction (counters, then a p99
+// apply-latency comparison against the sync baseline). Exits nonzero on
+// violation. Wired as the `perf`-labeled ctest.
+//
+// GRAPHBOLT_BG_COMPACTION=1 switches the full (timed) sweep to background
+// compaction too — maintenance runs untimed between batches, mirroring the
+// StreamDriver quiescent-window placement — and the JSON rows record which
+// mode produced them in `compaction_mode`.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,15 +93,24 @@ constexpr SweepPoint kSweep[] = {
     {100, 8}, {1000, 8}, {10000, 5}, {100000, 3}, {1000000, 1},
 };
 
+bool BackgroundCompactionRequested() {
+  const char* value = std::getenv("GRAPHBOLT_BG_COMPACTION");
+  return value != nullptr && std::strcmp(value, "1") == 0;
+}
+
 // One (input graph, batch size) cell: streams `point.batches` identical
 // mutation batches through both representations and reports mean latency.
 void SweepInput(const char* label, const EdgeList& full, BenchJson& json) {
+  const bool background = BackgroundCompactionRequested();
   StreamSplit split = SplitForStreaming(full, 0.5, /*seed=*/77);
   std::printf("\n%s: |V|=%u initial |E|=%zu\n", label, split.initial.num_vertices(),
               static_cast<size_t>(split.initial.num_edges()));
   std::printf("%-10s %14s %14s %9s\n", "batch", "rebuild(ms)", "slack(ms)", "speedup");
   for (const SweepPoint& point : kSweep) {
     MutableGraph graph(split.initial);
+    if (background) {
+      graph.SetCompactionMode(SlackCsr::CompactionMode::kBackground);
+    }
     RebuildGraph rebuild(split.initial);
     UpdateStream stream(split.held_back, /*seed=*/91);
     const BatchOptions options{.size = point.batch_size, .add_fraction = 0.5};
@@ -107,6 +125,12 @@ void SweepInput(const char* label, const EdgeList& full, BenchJson& json) {
       timer.Reset();
       graph.ApplyBatch(batch);
       new_seconds += timer.Seconds();
+      if (background) {
+        // Untimed, like the StreamDriver quiescent window the maintenance
+        // steps normally run in: reclamation cost stays off the apply path.
+        while (graph.MaintenanceStep(1 << 15)) {
+        }
+      }
     }
     const double old_ms = old_seconds * 1e3 / static_cast<double>(point.batches);
     const double new_ms = new_seconds * 1e3 / static_cast<double>(point.batches);
@@ -114,6 +138,7 @@ void SweepInput(const char* label, const EdgeList& full, BenchJson& json) {
                 old_ms / new_ms);
     json.Row()
         .Str("graph", label)
+        .Str("compaction_mode", background ? "background" : "sync")
         .Num("initial_edges", static_cast<double>(split.initial.num_edges()))
         .Num("batch_size", static_cast<double>(point.batch_size))
         .Num("batches", static_cast<double>(point.batches))
@@ -153,6 +178,91 @@ int Smoke() {
     } r{spliced, touched, graph.num_edges()};
     return r;
   };
+  // Delete-heavy compaction sweep: pure-delete batches shed edges fast
+  // enough that the sync policy must compact inside ApplyBatch several
+  // times. Under kBackground the same stream must never compact inside an
+  // apply — slack is reclaimed by untimed MaintenanceStep calls between
+  // batches — so the apply-latency tail loses the compaction spikes.
+  // Deletes only, deliberately: adds relocate overflowing segments, and a
+  // relocation strands the segment's old capacity as slack in one step —
+  // a single hub add can jump slack by whole percentage points, which is
+  // exactly the case the kForcedSyncSlack backstop exists for. A delete
+  // can strand at most its own entry, so with maintenance keeping pace
+  // the backstop is unreachable and the no-sync property is exact.
+  struct ModeResult {
+    double p99_ms = 0.0;
+    uint64_t apply_compactions = 0;  // ApplyStats.compactions summed over batches
+    SlackCsr::CompactionStats stats;
+  };
+  // 12k vertices on purpose: a sync compaction rewrites every vertex
+  // segment, so its cost scales with V while a batch splice scales with
+  // the batch — at this size the compaction spike is several times a
+  // plain splice and the p99 comparison below measures structure, not
+  // scheduler noise.
+  auto run_mode = [](SlackCsr::CompactionMode mode) {
+    EdgeList full = GenerateRmat(12000, 90000, {.seed = 21, .assign_random_weights = true});
+    StreamSplit split = SplitForStreaming(full, 0.5, 22);
+    MutableGraph graph(split.initial);
+    graph.SetCompactionMode(mode);
+    UpdateStream stream(split.held_back, 23);
+    std::vector<double> batch_ms;
+    ModeResult result;
+    for (int b = 0; b < 25; ++b) {
+      const MutationBatch batch = stream.NextBatch(graph, {.size = 1024, .add_fraction = 0.0});
+      Timer timer;
+      graph.ApplyBatch(batch);
+      batch_ms.push_back(timer.Seconds() * 1e3);
+      result.apply_compactions += graph.out().last_apply_stats().compactions +
+                                  graph.in().last_apply_stats().compactions;
+      if (mode == SlackCsr::CompactionMode::kBackground) {
+        while (graph.MaintenanceStep(1 << 14)) {
+        }
+      }
+    }
+    std::sort(batch_ms.begin(), batch_ms.end());
+    result.p99_ms = batch_ms[batch_ms.size() * 99 / 100];
+    result.stats = graph.compaction_stats();
+    return result;
+  };
+  // Three interleaved repetitions per mode, keeping the best p99 of each:
+  // the counters are deterministic across reps, but on a loaded machine a
+  // single rep's wall-clock tail can be inflated several-fold by whatever
+  // else holds the core. Interleaving spreads that contention across both
+  // modes and min() picks each mode's cleanest rep.
+  ModeResult sync_mode;
+  ModeResult bg_mode;
+  for (int rep = 0; rep < 3; ++rep) {
+    const ModeResult s = run_mode(SlackCsr::CompactionMode::kSync);
+    const ModeResult b = run_mode(SlackCsr::CompactionMode::kBackground);
+    if (rep == 0) {
+      sync_mode = s;
+      bg_mode = b;
+    }
+    sync_mode.p99_ms = std::min(sync_mode.p99_ms, s.p99_ms);
+    bg_mode.p99_ms = std::min(bg_mode.p99_ms, b.p99_ms);
+  }
+  expect(sync_mode.apply_compactions >= 2,
+         "sync baseline compacts inside ApplyBatch on the delete-heavy stream");
+  expect(bg_mode.apply_compactions == 0,
+         "background mode: no ApplyBatch performed synchronous compaction");
+  expect(bg_mode.stats.forced_sync_compactions == 0,
+         "background mode: forced-sync backstop never fired");
+  expect(bg_mode.stats.background_compactions >= 1,
+         "background mode: maintenance completed at least one shadow rewrite");
+  // The latency criterion rides on the counters above: sync p99 indexes a
+  // compaction spike (>= 2 spikes in 25 batches), background p99 a plain
+  // splice, so this holds by construction rather than machine speed.
+  expect(bg_mode.p99_ms <= sync_mode.p99_ms,
+         "background mode: p99 apply latency no worse than sync baseline");
+  std::printf(
+      "smoke: delete-heavy sync{p99=%.3fms apply_compactions=%zu} "
+      "background{p99=%.3fms bg_compactions=%zu steps=%zu edges=%zu forced=%zu}\n",
+      sync_mode.p99_ms, static_cast<size_t>(sync_mode.apply_compactions), bg_mode.p99_ms,
+      static_cast<size_t>(bg_mode.stats.background_compactions),
+      static_cast<size_t>(bg_mode.stats.maintenance_steps),
+      static_cast<size_t>(bg_mode.stats.background_edges_copied),
+      static_cast<size_t>(bg_mode.stats.forced_sync_compactions));
+
   const auto small = run(30000);
   const auto large = run(120000);
   expect(small.touched <= 6 * 2 * 64, "touched vertices bounded by batch entries");

@@ -57,6 +57,7 @@ void Run() {
 
   std::printf("%-6s %-8s %10s %10s %10s %9s %9s\n", "algo", "threads", "Ligra", "GB-Reset",
               "GraphBolt", "xLigra", "xReset");
+  BenchJson json("table6_scaling");
   const size_t thread_counts[] = {1, 2, 4};
   auto sweep = [&](const char* name, auto make_algo) {
     for (const size_t threads : thread_counts) {
@@ -65,6 +66,14 @@ void Run() {
       std::printf("%-6s %-8zu %10.2f %10.2f %10.2f %8.2fx %8.2fx\n", name, threads,
                   row.ligra * 1e3, row.reset * 1e3, row.bolt * 1e3, row.ligra / row.bolt,
                   row.reset / row.bolt);
+      json.Row()
+          .Str("algo", name)
+          .Num("threads", static_cast<double>(threads))
+          .Num("ligra_ms", row.ligra * 1e3)
+          .Num("reset_ms", row.reset * 1e3)
+          .Num("bolt_ms", row.bolt * 1e3)
+          .Num("speedup_vs_ligra", row.ligra / row.bolt)
+          .Num("speedup_vs_reset", row.reset / row.bolt);
     }
   };
   sweep("PR", [] { return PageRank(0.85, kBenchTolerance); });
@@ -88,8 +97,19 @@ void Run() {
     }
     std::printf("%-6s %-8zu %10.2f %10.2f %10.2f %8.2fx %8.2fx\n", "TC", threads, reset_time * 1e3,
                 reset_time * 1e3, bolt_time * 1e3, reset_time / bolt_time, reset_time / bolt_time);
+    json.Row()
+        .Str("algo", "TC")
+        .Num("threads", static_cast<double>(threads))
+        .Num("ligra_ms", reset_time * 1e3)
+        .Num("reset_ms", reset_time * 1e3)
+        .Num("bolt_ms", bolt_time * 1e3)
+        .Num("speedup_vs_ligra", reset_time / bolt_time)
+        .Num("speedup_vs_reset", reset_time / bolt_time);
   }
   ThreadPool::SetNumThreads(1);
+  if (json.WriteFile(json.DefaultPath())) {
+    std::printf("\nwrote %s\n", json.DefaultPath().c_str());
+  }
 
   std::printf(
       "\nExpected shape (Table 6): GraphBolt fastest at every width; its\n"

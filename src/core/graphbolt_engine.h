@@ -49,6 +49,7 @@
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/scheduler_scope.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -91,6 +92,7 @@ class GraphBoltEngine {
   // Runs the full computation from initial values, tracking dependencies.
   void InitialCompute() {
     Timer timer;
+    SchedulerCounterScope scheduler(&stats_);
     stats_.Clear();
     contexts_ = ComputeVertexContexts(*graph_);
     const VertexId n = graph_->num_vertices();
@@ -117,6 +119,7 @@ class GraphBoltEngine {
   // Stats lifecycle (identical across engines, see stats.h): mutation timed
   // first, then Clear(), then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    SchedulerCounterScope scheduler(&stats_);
     Timer mutation_timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = mutation_timer.Seconds();
@@ -224,6 +227,10 @@ class GraphBoltEngine {
   const EngineStats& stats() const { return stats_; }
   const StoreT& store() const { return store_; }
   const Algo& algorithm() const { return algo_; }
+
+  // The graph this engine computes over; StreamDriver uses it to run
+  // background-compaction maintenance between batches.
+  MutableGraph* mutable_graph() { return graph_; }
 
  private:
   static constexpr bool kPullBased = Algo::kKind == AggregationKind::kNonDecomposable;

@@ -83,6 +83,19 @@ concept CheckpointableEngine =
 template <typename E>
 using EngineValueT = std::remove_cvref_t<decltype(std::declval<const E&>().values()[0])>;
 
+class MutableGraph;
+
+// A StreamingEngine that exposes the MutableGraph it computes over. This is
+// what lets streaming infrastructure schedule graph maintenance — the
+// background SlackCsr compaction steps — in the quiescent windows between
+// batches, where the engine contract already guarantees nobody is reading
+// or mutating the adjacency. All four engines satisfy it.
+template <typename E>
+concept GraphMaintainableEngine =
+    StreamingEngine<E> && requires(E engine) {
+      { engine.mutable_graph() } -> std::convertible_to<MutableGraph*>;
+    };
+
 }  // namespace graphbolt
 
 #endif  // SRC_CORE_STREAMING_ENGINE_H_

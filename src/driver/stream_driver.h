@@ -62,6 +62,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -69,6 +70,7 @@
 #include <vector>
 
 #include "src/core/streaming_engine.h"
+#include "src/graph/mutable_graph.h"
 #include "src/driver/gutter_buffer.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
@@ -79,6 +81,13 @@
 #include "src/util/timer.h"
 
 namespace graphbolt {
+
+// The GRAPHBOLT_BG_COMPACTION=1 default for
+// StreamDriver::Options::background_compaction.
+inline bool DefaultBackgroundCompaction() {
+  const char* env = std::getenv("GRAPHBOLT_BG_COMPACTION");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
 
 template <StreamingEngine Engine>
 class StreamDriver {
@@ -111,6 +120,16 @@ class StreamDriver {
     // Test-only deterministic fault injection (no-op unless compiled with
     // GRAPHBOLT_FAULT_INJECTION=1). Not owned.
     FaultInjector* fault_injector = nullptr;
+    // Background SlackCsr compaction: the worker runs graph maintenance
+    // steps in the windows between batches (under the engine mutex), so
+    // ApplyBatch never pays a synchronous compaction pass — see
+    // slack_csr.h. Requires a GraphMaintainableEngine; ignored (with a
+    // warning) otherwise. Defaults to the GRAPHBOLT_BG_COMPACTION
+    // environment variable ("1" enables).
+    bool background_compaction = DefaultBackgroundCompaction();
+    // Edge budget per maintenance step, per adjacency view. Bounds the
+    // latency a step can add in front of a queued batch.
+    size_t maintenance_budget_edges = 1u << 16;
   };
 
   // The engine must outlive the driver and already hold the initial
@@ -126,6 +145,16 @@ class StreamDriver {
     GB_CHECK(options_.batch_size >= 1) << "batch_size must be >= 1";
     GB_CHECK(options_.overflow != OverflowPolicy::kShedToWal || checkpointer_ != nullptr)
         << "OverflowPolicy::kShedToWal requires a Checkpointer";
+    if (options_.background_compaction) {
+      if constexpr (GraphMaintainableEngine<Engine>) {
+        engine_->mutable_graph()->SetCompactionMode(
+            SlackCsr::CompactionMode::kBackground);
+      } else {
+        GB_LOG(kWarning) << "background_compaction requested but the engine "
+                            "does not expose its graph; staying synchronous";
+        options_.background_compaction = false;
+      }
+    }
     queue_.ArmFaultInjector(injector_);
     worker_ = std::thread([this] { WorkerLoop(); });
   }
@@ -484,6 +513,9 @@ class StreamDriver {
         if (WorkerKilled()) {
           return;
         }
+        // One maintenance increment per batch keeps compaction overlapped
+        // with a saturated stream (the quiescent window between applies).
+        MaintenanceTick();
         continue;
       }
       if (queue_.closed()) {
@@ -492,6 +524,7 @@ class StreamDriver {
         }
         continue;
       }
+      MaintenanceTick();  // idle poll: let a pending rewrite advance
       // Poll timeout with no pending work anywhere: flush a stale gutter
       // and apply it directly. Never through the queue — the worker must
       // not block behind itself — and only when in_flight_ == 0, so the
@@ -544,9 +577,37 @@ class StreamDriver {
     stats_.mutation_seconds += applied.mutation_seconds;
     stats_.edges_processed += applied.edges_processed;
     stats_.iterations += applied.iterations;
+    stats_.tasks_forked += applied.tasks_forked;
+    stats_.tasks_stolen += applied.tasks_stolen;
+    stats_.inline_runs += applied.inline_runs;
     stats_.flush_latency_seconds += item.since_flush.Seconds();
     if (--in_flight_ == 0) {
       drained_cv_.notify_all();
+    }
+  }
+
+  // One background-compaction increment in the quiescent window between
+  // batches. Holding the engine mutex makes this the epoch barrier: no
+  // apply or query can observe a half-built shadow, and a completed
+  // rewrite flips in under the same lock every reader takes.
+  void MaintenanceTick() {
+    if constexpr (GraphMaintainableEngine<Engine>) {
+      if (!options_.background_compaction) {
+        return;
+      }
+      SlackCsr::CompactionStats compaction;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        MutableGraph* graph = engine_->mutable_graph();
+        graph->MaintenanceStep(options_.maintenance_budget_edges);
+        compaction = graph->compaction_stats();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      // The graph's counters are already cumulative; mirror, don't sum.
+      stats_.maintenance_steps = compaction.maintenance_steps;
+      stats_.background_compactions = compaction.background_compactions;
+      stats_.background_compaction_edges = compaction.background_edges_copied;
+      stats_.forced_sync_compactions = compaction.forced_sync_compactions;
     }
   }
 
@@ -588,6 +649,9 @@ class StreamDriver {
         summed.mutation_seconds += applied.mutation_seconds;
         summed.edges_processed += applied.edges_processed;
         summed.iterations += applied.iterations;
+        summed.tasks_forked += applied.tasks_forked;
+        summed.tasks_stolen += applied.tasks_stolen;
+        summed.inline_runs += applied.inline_runs;
       });
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -597,6 +661,9 @@ class StreamDriver {
     stats_.mutation_seconds += summed.mutation_seconds;
     stats_.edges_processed += summed.edges_processed;
     stats_.iterations += summed.iterations;
+    stats_.tasks_forked += summed.tasks_forked;
+    stats_.tasks_stolen += summed.tasks_stolen;
+    stats_.inline_runs += summed.inline_runs;
     shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
   }
 

@@ -21,6 +21,7 @@
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/scheduler_scope.h"
 #include "src/util/timer.h"
 
 namespace graphbolt {
@@ -44,6 +45,7 @@ class LigraEngine {
   // entry point of the StreamingEngine API (src/core/streaming_engine.h).
   void InitialCompute() {
     Timer timer;
+    SchedulerCounterScope scheduler(&stats_);
     stats_.Clear();
     contexts_ = ComputeVertexContexts(*graph_);
     const VertexId n = graph_->num_vertices();
@@ -72,6 +74,7 @@ class LigraEngine {
   // is timed first, the recompute clears stats, then mutation_seconds is
   // assigned — stats() describes exactly this call.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    SchedulerCounterScope scheduler(&stats_);
     Timer timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = timer.Seconds();
@@ -79,6 +82,10 @@ class LigraEngine {
     stats_.mutation_seconds = mutation_seconds;
     return applied;
   }
+
+  // The graph this engine computes over; StreamDriver uses it to run
+  // background-compaction maintenance between batches.
+  MutableGraph* mutable_graph() { return graph_; }
 
   // Streams the computed state for checkpointing (CheckpointableEngine,
   // src/core/streaming_engine.h). Only values are persisted: contexts are

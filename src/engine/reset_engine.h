@@ -26,6 +26,7 @@
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/scheduler_scope.h"
 #include "src/util/timer.h"
 
 namespace graphbolt {
@@ -69,6 +70,7 @@ class ResetEngine {
   // Canonical entry point of the StreamingEngine API.
   void InitialCompute() {
     Timer timer;
+    SchedulerCounterScope scheduler(&stats_);
     stats_.Clear();
     contexts_ = ComputeVertexContexts(*graph_);
     const VertexId n = graph_->num_vertices();
@@ -99,6 +101,7 @@ class ResetEngine {
   // Stats lifecycle (identical across engines, see stats.h): mutation timed
   // first, recompute clears, then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    SchedulerCounterScope scheduler(&stats_);
     Timer timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = timer.Seconds();
@@ -106,6 +109,10 @@ class ResetEngine {
     stats_.mutation_seconds = mutation_seconds;
     return applied;
   }
+
+  // The graph this engine computes over; StreamDriver uses it to run
+  // background-compaction maintenance between batches.
+  MutableGraph* mutable_graph() { return graph_; }
 
   // Streams the computed state for checkpointing (CheckpointableEngine,
   // src/core/streaming_engine.h). Values only: contexts are recomputed from

@@ -33,6 +33,16 @@ struct EngineStats {
   // Wall-clock seconds spent applying the structural mutation.
   double mutation_seconds = 0.0;
 
+  // ----- Scheduler counters (TaskArena deltas over the most recent call;
+  // cumulative across batches under StreamDriver, like everything above) ---
+  // Closures pushed into a work-stealing deque during the call.
+  uint64_t tasks_forked = 0;
+  // Deque pops that crossed threads (load imbalance actually corrected).
+  uint64_t tasks_stolen = 0;
+  // Loops/forks that ran serially on the caller (range at or below grain,
+  // or a serial arena).
+  uint64_t inline_runs = 0;
+
   // ----- Driver-level counters (populated by StreamDriver only) -----------
   // Batches handed to the engine's ApplyMutations by the worker.
   uint64_t batches_applied = 0;
@@ -72,6 +82,20 @@ struct EngineStats {
   // Successful Recover() calls, and the WAL/shed batches they re-applied.
   uint64_t recoveries = 0;
   uint64_t batches_replayed = 0;
+
+  // ----- Background-compaction counters (populated by StreamDriver when the
+  // engine exposes its MutableGraph; mirrors SlackCsr::CompactionStats
+  // summed over both adjacency views) ---------------------------------------
+  // MaintenanceStep invocations that found compaction work to do.
+  uint64_t maintenance_steps = 0;
+  // Shadow-arena rewrites completed and flipped in (the overlap metric:
+  // compaction work that never ran inside an ApplyBatch).
+  uint64_t background_compactions = 0;
+  // Edges copied into shadow arenas by maintenance steps.
+  uint64_t background_compaction_edges = 0;
+  // kBackground-mode batches that still compacted synchronously because
+  // slack hit the kForcedSyncSlack backstop (0 when maintenance keeps up).
+  uint64_t forced_sync_compactions = 0;
 
   void Clear() { *this = EngineStats{}; }
 };

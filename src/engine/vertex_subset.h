@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/graph/types.h"
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/reducer.h"
 #include "src/util/bitset.h"
 
 namespace graphbolt {
@@ -28,6 +30,14 @@ class VertexSubset {
     for (VertexId v = 0; v < universe; ++v) {
       s.members_[v] = v;
     }
+    return s;
+  }
+
+  // Wraps an already-sorted, duplicate-free member vector without the
+  // per-element Add calls (FrontierBuilder::Take's bulk path).
+  static VertexSubset FromSorted(VertexId universe, std::vector<VertexId> members) {
+    VertexSubset s(universe);
+    s.members_ = std::move(members);
     return s;
   }
 
@@ -99,18 +109,51 @@ class FrontierBuilder {
 
   bool Contains(VertexId v) const { return claimed_.Test(v); }
 
-  // Collects all claimed vertices into a subset. O(universe) scan; fine for
-  // the scales this repository targets. The claim bitset is copied into the
-  // subset as its ready-made dense view (an O(universe/64) word copy, noise
-  // next to the scan), so EdgeMap's dense direction never rebuilds it — and
-  // the builder stays usable for further claims.
+  // Collects all claimed vertices into a subset. The O(universe) scan runs
+  // as a blocked two-pass pack (per-block claim counts, prefix sum, then a
+  // parallel fill — the same shape as ParallelPrefixSum) so a large
+  // universe is swept by the whole arena; block order keeps the member
+  // vector sorted either way. The claim bitset is copied into the subset as
+  // its ready-made dense view (an O(universe/64) word copy, noise next to
+  // the scan), so EdgeMap's dense direction never rebuilds it — and the
+  // builder stays usable for further claims.
   VertexSubset Take() const {
-    VertexSubset subset(universe_);
-    for (VertexId v = 0; v < universe_; ++v) {
-      if (claimed_.Test(v)) {
-        subset.Add(v);
+    constexpr size_t kBlock = 4096;
+    const size_t n = universe_;
+    if (n < 2 * kBlock) {
+      VertexSubset subset(universe_);
+      for (VertexId v = 0; v < universe_; ++v) {
+        if (claimed_.Test(v)) {
+          subset.Add(v);
+        }
       }
+      subset.AdoptDense(claimed_);
+      return subset;
     }
+    const size_t blocks = (n + kBlock - 1) / kBlock;
+    std::vector<size_t> offsets(blocks);
+    ParallelFor(0, blocks, [&](size_t b) {
+      const size_t lo = b * kBlock;
+      const size_t hi = lo + kBlock < n ? lo + kBlock : n;
+      size_t count = 0;
+      for (size_t v = lo; v < hi; ++v) {
+        count += claimed_.Test(static_cast<VertexId>(v)) ? 1 : 0;
+      }
+      offsets[b] = count;
+    }, /*grain=*/1);
+    const size_t total = ExclusivePrefixSum(offsets);
+    std::vector<VertexId> members(total);
+    ParallelFor(0, blocks, [&](size_t b) {
+      const size_t lo = b * kBlock;
+      const size_t hi = lo + kBlock < n ? lo + kBlock : n;
+      size_t out = offsets[b];
+      for (size_t v = lo; v < hi; ++v) {
+        if (claimed_.Test(static_cast<VertexId>(v))) {
+          members[out++] = static_cast<VertexId>(v);
+        }
+      }
+    }, /*grain=*/1);
+    VertexSubset subset = VertexSubset::FromSorted(universe_, std::move(members));
     subset.AdoptDense(claimed_);
     return subset;
   }

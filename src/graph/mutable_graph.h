@@ -65,6 +65,39 @@ class MutableGraph {
   // Exports all edges (sorted by (src, dst)); used by tests and snapshots.
   EdgeList ToEdgeList() const;
 
+  // Compaction policy for both views (see slack_csr.h). Under kBackground,
+  // ApplyBatch never compacts synchronously (short of the kForcedSyncSlack
+  // backstop); slack is reclaimed by MaintenanceStep calls instead.
+  void SetCompactionMode(SlackCsr::CompactionMode mode) {
+    out_.SetCompactionMode(mode);
+    in_.SetCompactionMode(mode);
+  }
+
+  // One background-compaction increment across both views; call from a
+  // quiescent window (StreamDriver does, between batches under the engine
+  // mutex). Returns true while either view still has a rewrite in flight.
+  bool MaintenanceStep(size_t max_edges) {
+    const bool out_pending = out_.MaintenanceStep(max_edges);
+    const bool in_pending = in_.MaintenanceStep(max_edges);
+    return out_pending || in_pending;
+  }
+
+  bool compaction_in_progress() const {
+    return out_.compaction_in_progress() || in_.compaction_in_progress();
+  }
+
+  // Cumulative compaction counters summed over both views.
+  SlackCsr::CompactionStats compaction_stats() const {
+    SlackCsr::CompactionStats merged = out_.compaction_stats();
+    const SlackCsr::CompactionStats& in_stats = in_.compaction_stats();
+    merged.sync_compactions += in_stats.sync_compactions;
+    merged.forced_sync_compactions += in_stats.forced_sync_compactions;
+    merged.background_compactions += in_stats.background_compactions;
+    merged.background_edges_copied += in_stats.background_edges_copied;
+    merged.maintenance_steps += in_stats.maintenance_steps;
+    return merged;
+  }
+
   bool CheckInvariants() const { return out_.CheckInvariants() && in_.CheckInvariants() && out_.num_edges() == in_.num_edges(); }
 
  private:

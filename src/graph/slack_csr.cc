@@ -253,9 +253,27 @@ void SlackCsr::ApplyEdits(const std::vector<VertexEdits>& edits) {
   arena_used_ = cursor;
   live_edges_ = static_cast<EdgeIndex>(static_cast<int64_t>(live_edges_) + degree_delta);
 
-  if (arena_used_ >= kMinCompactionArena && SlackFraction() > kCompactionThreshold) {
+  if (shadow_.active) {
+    // Any touched segment's shadow copy (made or pending) is stale: its
+    // degree, content, or offset changed. Re-copied at the flip.
+    for (const VertexEdits& e : edits) {
+      shadow_.dirty[e.vertex] = 1;
+    }
+  }
+
+  const bool sizable = arena_used_ >= kMinCompactionArena;
+  if (compaction_mode_ == CompactionMode::kSync) {
+    if (sizable && SlackFraction() > kCompactionThreshold) {
+      last_apply_.compactions = 1;
+      last_apply_.compaction_edges = live_edges_;
+      Compact();
+    }
+  } else if (sizable && SlackFraction() > kForcedSyncSlack) {
+    // Maintenance fell behind the mutation rate; compact now rather than
+    // let the arena grow without bound.
     last_apply_.compactions = 1;
     last_apply_.compaction_edges = live_edges_;
+    ++compaction_stats_.forced_sync_compactions;
     Compact();
   }
 }
@@ -266,9 +284,17 @@ void SlackCsr::GrowVertices(VertexId new_count) {
   }
   prefix_valid_ = false;
   segments_.resize(new_count, Segment{});
+  if (shadow_.active) {
+    // Vertices born mid-epoch have no shadow slot; route them through the
+    // dirty tail at the flip (zero degree unless edited, which re-flags).
+    shadow_.offsets.resize(new_count, shadow_.total);
+    shadow_.dirty.resize(new_count, 1);
+  }
 }
 
 void SlackCsr::Compact() {
+  ++compaction_stats_.sync_compactions;
+  shadow_ = ShadowState{};  // a full rewrite supersedes any shadow epoch
   const VertexId n = num_vertices();
   prefix_valid_ = false;
   std::vector<EdgeIndex> offsets(n);
@@ -294,15 +320,113 @@ void SlackCsr::Compact() {
   arena_used_ = total;
 }
 
+void SlackCsr::SetCompactionMode(CompactionMode mode) {
+  if (mode == compaction_mode_) {
+    return;
+  }
+  compaction_mode_ = mode;
+  shadow_ = ShadowState{};  // unpublished; always safe to discard
+}
+
+bool SlackCsr::MaintenanceStep(size_t max_edges) {
+  if (compaction_mode_ != CompactionMode::kBackground) {
+    return false;
+  }
+  if (!shadow_.active) {
+    if (arena_used_ < kMinCompactionArena || SlackFraction() <= kCompactionThreshold) {
+      return false;
+    }
+    StartShadowCompaction();
+  }
+  ++compaction_stats_.maintenance_steps;
+  compaction_stats_.background_edges_copied += CopyShadowChunk(max_edges);
+  if (shadow_.copied_up_to >= num_vertices()) {
+    FinishShadowCompaction();
+  }
+  return shadow_.active;
+}
+
+void SlackCsr::StartShadowCompaction() {
+  const VertexId n = num_vertices();
+  shadow_.offsets.resize(n);
+  ParallelFor(0, n, [this](size_t v) { shadow_.offsets[v] = segments_[v].degree; });
+  shadow_.total = ParallelPrefixSum(shadow_.offsets);
+  GB_CHECK(shadow_.total == live_edges_) << "degree sum disagrees with live edge count";
+  shadow_.targets.resize(shadow_.total);
+  shadow_.weights.resize(shadow_.total);
+  shadow_.dirty.assign(n, 0);
+  shadow_.copied_up_to = 0;
+  shadow_.active = true;
+}
+
+size_t SlackCsr::CopyShadowChunk(size_t max_edges) {
+  const VertexId limit = num_vertices();
+  const VertexId start = shadow_.copied_up_to;
+  VertexId end = start;
+  size_t budget = 0;
+  while (end < limit && budget < max_edges) {
+    if (!shadow_.dirty[end]) {
+      budget += segments_[end].degree;
+    }
+    ++end;
+  }
+  ParallelFor(start, end, [this](size_t v) {
+    if (shadow_.dirty[v]) {
+      return;  // stale; re-copied at the flip
+    }
+    const Segment& s = segments_[v];
+    std::copy_n(targets_.data() + s.offset, s.degree,
+                shadow_.targets.data() + shadow_.offsets[v]);
+    std::copy_n(weights_.data() + s.offset, s.degree,
+                shadow_.weights.data() + shadow_.offsets[v]);
+  }, /*grain=*/256);
+  shadow_.copied_up_to = end;
+  return budget;
+}
+
+void SlackCsr::FinishShadowCompaction() {
+  const VertexId n = num_vertices();
+  // Dirty segments append after the clean block. Their original shadow
+  // slots become slack in the new arena — bounded by the edit traffic of
+  // one epoch, far below the threshold that started it.
+  EdgeIndex tail = shadow_.total;
+  for (VertexId v = 0; v < n; ++v) {
+    if (shadow_.dirty[v]) {
+      shadow_.offsets[v] = tail;
+      tail += segments_[v].degree;
+    }
+  }
+  shadow_.targets.resize(tail);
+  shadow_.weights.resize(tail);
+  ParallelFor(0, n, [this](size_t v) {
+    if (!shadow_.dirty[v]) {
+      return;
+    }
+    const Segment& s = segments_[v];
+    std::copy_n(targets_.data() + s.offset, s.degree,
+                shadow_.targets.data() + shadow_.offsets[v]);
+    std::copy_n(weights_.data() + s.offset, s.degree,
+                shadow_.weights.data() + shadow_.offsets[v]);
+  }, /*grain=*/256);
+  ParallelFor(0, n, [this](size_t v) {
+    segments_[v].offset = shadow_.offsets[v];
+    segments_[v].capacity = segments_[v].degree;
+  });
+  targets_ = std::move(shadow_.targets);
+  weights_ = std::move(shadow_.weights);
+  arena_used_ = tail;
+  prefix_valid_ = false;
+  ++compaction_stats_.background_compactions;
+  shadow_ = ShadowState{};
+}
+
 const std::vector<EdgeIndex>& SlackCsr::DegreePrefix() const {
   if (!prefix_valid_ || degree_prefix_.size() != static_cast<size_t>(num_vertices()) + 1) {
-    degree_prefix_.resize(static_cast<size_t>(num_vertices()) + 1);
-    EdgeIndex running = 0;
-    for (VertexId v = 0; v < num_vertices(); ++v) {
-      degree_prefix_[v] = running;
-      running += segments_[v].degree;
-    }
-    degree_prefix_[num_vertices()] = running;
+    const VertexId n = num_vertices();
+    degree_prefix_.resize(n);
+    ParallelFor(0, n, [this](size_t v) { degree_prefix_[v] = segments_[v].degree; });
+    const EdgeIndex total = ParallelPrefixSum(degree_prefix_);
+    degree_prefix_.push_back(total);
     prefix_valid_ = true;
   }
   return degree_prefix_;

@@ -12,6 +12,19 @@
 // synchronous (background-free) compaction pass rewrites the arena as a
 // tight CSR using ParallelPrefixSum over the degrees.
 //
+// Compaction modes: under CompactionMode::kSync (the default) that pass
+// runs inside ApplyEdits, so the batch that crosses the threshold pays the
+// whole O(V + E) rewrite. Under kBackground the rewrite is built
+// incrementally into a *shadow arena* by MaintenanceStep(budget) calls
+// issued from quiescent windows (StreamDriver runs them between batches,
+// under the engine mutex, so maintenance never races reads or splices).
+// Each step copies up to `budget` edges of clean segments; ApplyEdits marks
+// every vertex it touches dirty, invalidating its shadow copy. When the
+// sweep completes, the epoch flips: dirty segments are re-copied to the
+// shadow tail and the shadow arrays are swapped in wholesale. ApplyBatch
+// therefore never compacts synchronously — unless slack outruns
+// maintenance past kForcedSyncSlack, the correctness backstop.
+//
 // Neighbors()/Weights() still return contiguous std::spans, which is what
 // keeps edge_map.h, the four engines, and the dependency stores untouched
 // at the call-site level.
@@ -31,6 +44,19 @@ namespace graphbolt {
 
 class SlackCsr {
  public:
+  // When the arena reclaims slack: inside ApplyEdits (kSync), or across
+  // MaintenanceStep calls from quiescent windows (kBackground).
+  enum class CompactionMode { kSync, kBackground };
+
+  // Cumulative compaction accounting since construction (monotone, unlike
+  // the per-call ApplyStats).
+  struct CompactionStats {
+    uint64_t sync_compactions = 0;        // full passes inside ApplyEdits
+    uint64_t forced_sync_compactions = 0; // kBackground slack hit kForcedSyncSlack
+    uint64_t background_compactions = 0;  // completed shadow flips
+    uint64_t background_edges_copied = 0; // edges moved by maintenance steps
+    uint64_t maintenance_steps = 0;       // MaintenanceStep calls that did work
+  };
   // Per-touched-vertex edit list: targets to remove and (target, weight)
   // pairs to insert, both sorted by target. An add of a target that is also
   // being deleted re-inserts it (the weight-update lowering); an add of an
@@ -90,8 +116,27 @@ class SlackCsr {
   void GrowVertices(VertexId new_count);
 
   // Rewrites the arena as a tight CSR (capacity == degree, zero slack).
-  // Synchronous; also called automatically when slack passes the threshold.
+  // Synchronous; also called automatically when slack passes the threshold
+  // in kSync mode. Abandons any in-progress shadow compaction.
   void Compact();
+
+  // Selects the compaction policy. Switching away from kBackground
+  // abandons any in-progress shadow compaction (nothing was published yet,
+  // so this is always safe).
+  void SetCompactionMode(CompactionMode mode);
+  CompactionMode compaction_mode() const { return compaction_mode_; }
+
+  // One increment of background compaction: starts a shadow rewrite when
+  // slack is over threshold, copies up to `max_edges` edges of clean
+  // segments into it, and flips the epoch once the sweep completes. Must be
+  // called from a quiescent window (no concurrent reads or ApplyEdits —
+  // StreamDriver holds the engine mutex). Returns true while a shadow
+  // rewrite remains in progress after the call. No-op in kSync mode.
+  bool MaintenanceStep(size_t max_edges);
+
+  bool compaction_in_progress() const { return shadow_.active; }
+
+  const CompactionStats& compaction_stats() const { return compaction_stats_; }
 
   // Cumulative out-degree array (size V+1, prefix[v] = Σ_{u<v} degree(u)),
   // the replacement for Csr::offsets() in uniform-random edge sampling.
@@ -115,6 +160,9 @@ class SlackCsr {
 
   // Slack above this fraction of the arena triggers compaction (~30%).
   static constexpr double kCompactionThreshold = 0.30;
+  // In kBackground mode, slack past this fraction forces a synchronous
+  // compaction anyway — the backstop when mutation outruns maintenance.
+  static constexpr double kForcedSyncSlack = 0.60;
   // Arenas smaller than this never compact (the rebuild would cost more
   // than the slack is worth).
   static constexpr EdgeIndex kMinCompactionArena = 1024;
@@ -126,6 +174,27 @@ class SlackCsr {
     uint32_t capacity = 0;
   };
 
+  // In-progress shadow rewrite (kBackground). `offsets` fixes each clean
+  // vertex's tight slot from the degrees at start-of-epoch; segments edited
+  // after their copy (or before it) are flagged dirty and re-copied to the
+  // shadow tail at the flip, so the published arena is always current.
+  struct ShadowState {
+    bool active = false;
+    std::vector<EdgeIndex> offsets;  // size V at start (grown with vertices)
+    std::vector<uint8_t> dirty;      // parallel to offsets
+    std::vector<VertexId> targets;
+    std::vector<Weight> weights;
+    VertexId copied_up_to = 0;  // clean-copy sweep cursor
+    EdgeIndex total = 0;        // Σ degrees at start of epoch
+  };
+
+  void StartShadowCompaction();
+  // Copies up to `max_edges` edges of clean segments; returns edges copied.
+  size_t CopyShadowChunk(size_t max_edges);
+  // Re-copies dirty segments to the shadow tail and publishes the shadow
+  // arrays as the arena (the epoch flip).
+  void FinishShadowCompaction();
+
   // Power-of-two capacity for a relocated segment of `degree` edges.
   static uint32_t RelocationCapacity(uint32_t degree);
 
@@ -136,6 +205,10 @@ class SlackCsr {
   EdgeIndex live_edges_ = 0;        // Σ degrees
 
   ApplyStats last_apply_;
+
+  CompactionMode compaction_mode_ = CompactionMode::kSync;
+  ShadowState shadow_;
+  CompactionStats compaction_stats_;
 
   mutable std::vector<EdgeIndex> degree_prefix_;  // lazy, size V+1 when valid
   mutable bool prefix_valid_ = false;

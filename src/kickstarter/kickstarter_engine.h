@@ -33,6 +33,7 @@
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/graph/types.h"
+#include "src/parallel/scheduler_scope.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -49,6 +50,7 @@ class KickStarterEngine {
   // Full computation from scratch (builds the dependence tree).
   void InitialCompute() {
     Timer timer;
+    SchedulerCounterScope scheduler(&stats_);
     stats_.Clear();
     const VertexId n = graph_->num_vertices();
     values_.assign(n, traits_.Worst());
@@ -69,6 +71,7 @@ class KickStarterEngine {
   // is timed first, then Clear(), then mutation_seconds is assigned — so
   // stats() describes exactly this call, like the other three engines.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    SchedulerCounterScope scheduler(&stats_);
     Timer mutation_timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
     const double mutation_seconds = mutation_timer.Seconds();
@@ -204,6 +207,10 @@ class KickStarterEngine {
   const std::vector<Value>& values() const { return values_; }
   const std::vector<VertexId>& parents() const { return parent_; }
   const EngineStats& stats() const { return stats_; }
+
+  // The graph this engine computes over; StreamDriver uses it to run
+  // background-compaction maintenance between batches.
+  MutableGraph* mutable_graph() { return graph_; }
 
  private:
   static constexpr uint64_t kStateMagic = 0x47424B5353543031ULL;  // "GBKSST01"

@@ -1,34 +1,89 @@
-// Fork-join loop helpers layered on ThreadPool.
+// Fork-join loop primitives on the work-stealing TaskArena.
+//
+// Template-dispatched end to end: the body is instantiated into the range
+// tasks directly — no std::function boxing, no per-chunk virtual call (the
+// old runtime paid one type-erased call per chunk; see
+// bench_micro_primitives BM_ParallelFor*).
+//
+// Scheduling is lazy binary splitting (Tzannes et al.): the executing
+// thread forks the upper half of its remaining range only when its deque
+// is empty — i.e. thieves have taken everything it previously forked, or
+// it has forked nothing yet. An uncontended loop therefore runs as a
+// near-serial sweep with O(log(n/grain)) forks, while skewed chunk costs
+// (hub vertices, ragged frontiers) keep splitting adaptively down to
+// `grain` so idle workers always find work to steal. Nested calls fork
+// into the calling worker's own deque — real nested parallelism, not the
+// old inline serialization.
 #ifndef SRC_PARALLEL_PARALLEL_FOR_H_
 #define SRC_PARALLEL_PARALLEL_FOR_H_
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 
-#include "src/parallel/thread_pool.h"
+#include "src/parallel/task_arena.h"
 
 namespace graphbolt {
 
 inline constexpr size_t kDefaultGrain = 1024;
 
-// Applies body(i) for every i in [begin, end) across the process pool.
+namespace parallel_internal {
+
+// Executes body(lo, hi) over [lo, hi) in grain-sized chunks, forking the
+// upper half whenever the owner's deque runs dry. Re-entered by thieves
+// for the halves they steal.
 template <typename Body>
-void ParallelFor(size_t begin, size_t end, const Body& body,
-                 size_t grain = kDefaultGrain) {
-  const std::function<void(size_t, size_t)> chunk = [&body](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      body(i);
+void RunSplit(const Body& body, size_t lo, size_t hi, size_t grain,
+              TaskGroup& group, TaskArena& arena) {
+  while (lo < hi) {
+    while (hi - lo > grain && arena.ShouldSplit()) {
+      const size_t mid = lo + (hi - lo) / 2;
+      group.Run([&body, &group, &arena, mid, hi, grain] {
+        RunSplit(body, mid, hi, grain, group, arena);
+      });
+      hi = mid;
     }
-  };
-  ThreadPool::Instance().ParallelForChunked(begin, end, grain, chunk);
+    const size_t chunk_end = std::min(hi, lo + grain);
+    body(lo, chunk_end);
+    lo = chunk_end;
+  }
 }
 
-// Applies body(lo, hi) to disjoint chunks covering [begin, end).
+}  // namespace parallel_internal
+
+// Applies body(lo, hi) to disjoint chunks covering [begin, end). Chunks
+// are at most `grain` long; their boundaries depend on stealing, so the
+// body must not assume any particular partition (each index is covered
+// exactly once).
 template <typename Body>
 void ParallelForChunks(size_t begin, size_t end, const Body& body,
                        size_t grain = kDefaultGrain) {
-  const std::function<void(size_t, size_t)> chunk = body;
-  ThreadPool::Instance().ParallelForChunked(begin, end, grain, chunk);
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<size_t>(1, grain);
+  TaskArena& arena = TaskArena::Instance();
+  if (end - begin <= grain || arena.num_threads() == 1) {
+    arena.CountInlineRun();
+    body(begin, end);
+    return;
+  }
+  TaskGroup group;
+  parallel_internal::RunSplit(body, begin, end, grain, group, arena);
+  group.Wait();
+}
+
+// Applies body(i) for every i in [begin, end).
+template <typename Body>
+void ParallelFor(size_t begin, size_t end, const Body& body,
+                 size_t grain = kDefaultGrain) {
+  ParallelForChunks(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          body(i);
+        }
+      },
+      grain);
 }
 
 }  // namespace graphbolt

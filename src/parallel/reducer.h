@@ -1,34 +1,100 @@
-// Parallel reductions and prefix sums over index ranges.
+// Parallel reductions and prefix sums over index ranges, on the
+// work-stealing TaskArena.
 //
-// Prefix sums back the sparse->packed conversions in VertexSubset and the
-// two-pass CSR mutation (offset adjustment). The implementations fall back
-// to a serial pass for small inputs.
+// Reductions use *eager* binary splitting with a fixed merge tree: the
+// range is always split at its midpoint, the upper half is forked, and the
+// two partials merge in (left, right) order. The split points — and hence
+// the merge tree — depend only on (begin, end, grain), never on which
+// thread executed what, so floating-point reductions are bitwise
+// deterministic under stealing (the old mutex-merge accumulated in arrival
+// order). Prefix sums use the two-pass blocked scan, which is likewise
+// schedule-independent.
 #ifndef SRC_PARALLEL_REDUCER_H_
 #define SRC_PARALLEL_REDUCER_H_
 
 #include <cstddef>
-#include <mutex>
-#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/task_arena.h"
 
 namespace graphbolt {
+
+namespace parallel_internal {
+
+template <typename T, typename ChunkFn, typename MergeFn>
+T ReduceSplit(size_t lo, size_t hi, size_t grain, const ChunkFn& chunk_fn,
+              const MergeFn& merge) {
+  if (hi - lo <= grain) {
+    return chunk_fn(lo, hi);
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  T right{};
+  TaskGroup group;
+  group.Run([&] { right = ReduceSplit<T>(mid, hi, grain, chunk_fn, merge); });
+  T left = ReduceSplit<T>(lo, mid, grain, chunk_fn, merge);
+  group.Wait();
+  return merge(std::move(left), std::move(right));
+}
+
+}  // namespace parallel_internal
+
+// General chunked reduction: chunk_fn(lo, hi) -> T over leaf ranges,
+// merge(T, T) -> T up a midpoint-split tree. Deterministic for a fixed
+// (begin, end, grain) regardless of scheduling. Returns T{} on an empty
+// range.
+template <typename T, typename ChunkFn, typename MergeFn>
+T ParallelReduce(size_t begin, size_t end, const ChunkFn& chunk_fn,
+                 const MergeFn& merge, size_t grain = kDefaultGrain) {
+  if (begin >= end) {
+    return T{};
+  }
+  grain = grain == 0 ? 1 : grain;
+  TaskArena& arena = TaskArena::Instance();
+  if (end - begin <= grain || arena.num_threads() == 1) {
+    arena.CountInlineRun();
+    return chunk_fn(begin, end);
+  }
+  return parallel_internal::ReduceSplit<T>(begin, end, grain, chunk_fn, merge);
+}
 
 // Sum of body(i) over [begin, end).
 template <typename T, typename Body>
 T ParallelReduceSum(size_t begin, size_t end, const Body& body, T init = T{}) {
-  std::mutex merge_mutex;
-  T total = init;
-  ParallelForChunks(begin, end, [&](size_t lo, size_t hi) {
-    T local{};
-    for (size_t i = lo; i < hi; ++i) {
-      local += body(i);
-    }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    total += local;
-  });
-  return total;
+  T total = ParallelReduce<T>(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        T local{};
+        for (size_t i = lo; i < hi; ++i) {
+          local += body(i);
+        }
+        return local;
+      },
+      [](T a, T b) { return a + b; });
+  return init + total;
+}
+
+// Maximum of body(i) over [begin, end); returns `init` for empty ranges.
+template <typename T, typename Body>
+T ParallelReduceMax(size_t begin, size_t end, const Body& body, T init) {
+  if (begin >= end) {
+    return init;  // ParallelReduce would return T{}, dropping init
+  }
+  return ParallelReduce<T>(
+      begin, end,
+      [&body, &init](size_t lo, size_t hi) {
+        T local = init;
+        for (size_t i = lo; i < hi; ++i) {
+          T candidate = body(i);
+          if (local < candidate) {
+            local = std::move(candidate);
+          }
+        }
+        return local;
+      },
+      [](T a, T b) { return a < b ? b : a; },
+      /*grain=*/kDefaultGrain);
 }
 
 // Exclusive prefix sum of `values`; returns the grand total. values[i]
@@ -48,7 +114,9 @@ T ExclusivePrefixSum(std::vector<T>& values) {
 // total. Two-pass blocked scan: per-block totals in parallel, a serial scan
 // over the (few) block totals, then a parallel fix-up pass. Small inputs
 // fall back to the serial ExclusivePrefixSum. This backs the offset pass of
-// SlackCsr compaction, where V is large enough for the blocks to matter.
+// SlackCsr compaction (both the synchronous path and the shadow-arena
+// offsets of a background compaction), where V is large enough for the
+// blocks to matter.
 template <typename T>
 T ParallelPrefixSum(std::vector<T>& values, size_t grain = 4096) {
   const size_t n = values.size();
@@ -78,27 +146,6 @@ T ParallelPrefixSum(std::vector<T>& values, size_t grain = 4096) {
     }
   }, /*grain=*/1);
   return total;
-}
-
-// Maximum of body(i) over [begin, end); returns `init` for empty ranges.
-template <typename T, typename Body>
-T ParallelReduceMax(size_t begin, size_t end, const Body& body, T init) {
-  std::mutex merge_mutex;
-  T best = init;
-  ParallelForChunks(begin, end, [&](size_t lo, size_t hi) {
-    T local = init;
-    for (size_t i = lo; i < hi; ++i) {
-      const T candidate = body(i);
-      if (local < candidate) {
-        local = candidate;
-      }
-    }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    if (best < local) {
-      best = local;
-    }
-  });
-  return best;
 }
 
 }  // namespace graphbolt

@@ -1,0 +1,40 @@
+// RAII attribution of TaskArena scheduler activity to an EngineStats.
+//
+// The arena's counters are process-wide and monotone; engines wrap each
+// InitialCompute/ApplyMutations body in a SchedulerCounterScope so stats()
+// reports the forks/steals/inline-runs of exactly that call. The scope
+// *assigns* (it does not accumulate), matching the stats.h lifecycle where
+// every field describes the most recent call — and making re-entrant cases
+// (ApplyMutations falling back to InitialCompute) report the outermost
+// call's totals instead of double counting.
+#ifndef SRC_PARALLEL_SCHEDULER_SCOPE_H_
+#define SRC_PARALLEL_SCHEDULER_SCOPE_H_
+
+#include "src/engine/stats.h"
+#include "src/parallel/task_arena.h"
+
+namespace graphbolt {
+
+class SchedulerCounterScope {
+ public:
+  explicit SchedulerCounterScope(EngineStats* stats)
+      : stats_(stats), before_(TaskArena::Instance().counters()) {}
+
+  ~SchedulerCounterScope() {
+    const ArenaCounters after = TaskArena::Instance().counters();
+    stats_->tasks_forked = after.tasks_forked - before_.tasks_forked;
+    stats_->tasks_stolen = after.tasks_stolen - before_.tasks_stolen;
+    stats_->inline_runs = after.inline_runs - before_.inline_runs;
+  }
+
+  SchedulerCounterScope(const SchedulerCounterScope&) = delete;
+  SchedulerCounterScope& operator=(const SchedulerCounterScope&) = delete;
+
+ private:
+  EngineStats* stats_;
+  ArenaCounters before_;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_PARALLEL_SCHEDULER_SCOPE_H_

@@ -1,133 +1,22 @@
 #include "src/parallel/thread_pool.h"
 
-#include <algorithm>
-#include <memory>
+#include "src/parallel/parallel_for.h"
 
 namespace graphbolt {
 
-thread_local bool ThreadPool::in_parallel_region_ = false;
-
-namespace {
-
-std::unique_ptr<ThreadPool>& PoolSlot() {
-  static std::unique_ptr<ThreadPool> pool;
-  return pool;
-}
-
-std::mutex& PoolMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-}  // namespace
-
 ThreadPool& ThreadPool::Instance() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
-  auto& slot = PoolSlot();
-  if (!slot) {
-    const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
-    slot = std::make_unique<ThreadPool>(hw);
-  }
-  return *slot;
+  static ThreadPool shim;
+  TaskArena::Instance();  // materialize the arena eagerly, like the old pool
+  return shim;
 }
 
 void ThreadPool::SetNumThreads(size_t num_threads) {
-  std::lock_guard<std::mutex> lock(PoolMutex());
-  PoolSlot() = std::make_unique<ThreadPool>(std::max<size_t>(1, num_threads));
-}
-
-ThreadPool::ThreadPool(size_t num_threads) {
-  const size_t extra = num_threads > 0 ? num_threads - 1 : 0;
-  workers_.reserve(extra);
-  for (size_t i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  work_ready_.notify_all();
-  for (auto& worker : workers_) {
-    worker.join();
-  }
+  TaskArena::SetNumThreads(num_threads);
 }
 
 void ThreadPool::ParallelForChunked(size_t begin, size_t end, size_t grain,
                                     const std::function<void(size_t, size_t)>& body) {
-  if (begin >= end) {
-    return;
-  }
-  grain = std::max<size_t>(1, grain);
-  // Inline execution when small, nested, or single-threaded.
-  if (in_parallel_region_ || workers_.empty() || end - begin <= grain) {
-    body(begin, end);
-    return;
-  }
-
-  Job job;
-  job.body = &body;
-  job.end = end;
-  job.grain = grain;
-  job.cursor.store(begin, std::memory_order_relaxed);
-  job.remaining_workers.store(workers_.size(), std::memory_order_relaxed);
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    current_job_ = &job;
-    ++job_epoch_;
-  }
-  work_ready_.notify_all();
-
-  // The calling thread participates too.
-  in_parallel_region_ = true;
-  size_t chunk_begin;
-  while ((chunk_begin = job.cursor.fetch_add(grain, std::memory_order_relaxed)) < end) {
-    body(chunk_begin, std::min(end, chunk_begin + grain));
-  }
-  in_parallel_region_ = false;
-
-  // Wait until every worker has drained the job (not merely observed it), so
-  // `body` can be destroyed safely.
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [&job] {
-    return job.remaining_workers.load(std::memory_order_acquire) == 0;
-  });
-  current_job_ = nullptr;
-}
-
-void ThreadPool::WorkerLoop() {
-  uint64_t seen_epoch = 0;
-  in_parallel_region_ = true;  // Workers never spawn nested parallelism.
-  while (true) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this, seen_epoch] {
-        return shutting_down_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
-      });
-      if (shutting_down_) {
-        return;
-      }
-      job = current_job_;
-      seen_epoch = job_epoch_;
-    }
-    const size_t grain = job->grain;
-    const size_t end = job->end;
-    size_t chunk_begin;
-    while ((chunk_begin = job->cursor.fetch_add(grain, std::memory_order_relaxed)) < end) {
-      (*job->body)(chunk_begin, std::min(end, chunk_begin + grain));
-    }
-    if (job->remaining_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last worker out signals the caller.
-      std::lock_guard<std::mutex> lock(mutex_);
-      work_done_.notify_all();
-    } else {
-      work_done_.notify_all();
-    }
-  }
+  ParallelForChunks(begin, end, body, grain);
 }
 
 }  // namespace graphbolt

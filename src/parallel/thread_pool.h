@@ -1,70 +1,49 @@
-// A small static thread pool with a fork-join `ParallelFor` primitive.
+// Compatibility shim over the work-stealing TaskArena (task_arena.h).
 //
-// The BSP engines in this repository are barrier-heavy: each iteration is a
-// sequence of parallel loops over vertices or edges with a join in between.
-// A persistent pool with blocked range partitioning matches that pattern and
-// keeps per-loop overhead low; work items within a loop are further split
-// into chunks claimed via an atomic cursor so skewed per-vertex work (power-
-// law degrees) load-balances.
+// The original runtime was a single-job blocked-range ThreadPool; the
+// arena replaced it. This class keeps the public surface —
+// Instance()/SetNumThreads()/num_threads()/ParallelForChunked — so the
+// Table 6 core-count sweep and historical call sites migrate without API
+// churn, while every call is forwarded to the arena.
 //
-// The pool size is process-wide and settable (Table 6 reproduces the paper's
-// core-count sweep by varying it). With one thread, loops run inline on the
-// caller, which keeps single-core benchmarking honest.
+// SetNumThreads semantics (fixing the old rebuild race): the arena is
+// resized in place behind a root-region guard, so a reference obtained
+// from Instance() on another thread is never invalidated mid-swap, and a
+// call from inside a parallel region GB_DCHECK-fails in debug builds (and
+// is ignored with a warning in release) instead of deadlocking.
 #ifndef SRC_PARALLEL_THREAD_POOL_H_
 #define SRC_PARALLEL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "src/parallel/task_arena.h"
 
 namespace graphbolt {
 
 class ThreadPool {
  public:
-  // The process-wide pool. Created on first use with hardware concurrency.
+  // The process-wide pool view. Always the same object; safe to cache.
   static ThreadPool& Instance();
 
-  // Rebuilds the process-wide pool with `num_threads` workers. Joins the old
-  // workers first; must not be called from inside a parallel region.
+  // Resizes the process-wide arena to `num_threads` participants. Must not
+  // be called from inside a parallel region (asserted in debug builds).
   static void SetNumThreads(size_t num_threads);
-
-  explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size() + 1; }
+  size_t num_threads() const { return TaskArena::Instance().num_threads(); }
 
-  // Runs body(begin..end) across the pool and the calling thread; returns
-  // when every index has been processed. `body` receives a half-open chunk
-  // [chunk_begin, chunk_end). Nested calls execute inline (serially).
+  // Legacy chunked loop taking a boxed body. New code should call the
+  // template ParallelForChunks (parallel_for.h), which dispatches the body
+  // statically; this overload exists only for callers that already hold a
+  // std::function.
   void ParallelForChunked(size_t begin, size_t end, size_t grain,
                           const std::function<void(size_t, size_t)>& body);
 
  private:
-  void WorkerLoop();
-
-  struct Job {
-    const std::function<void(size_t, size_t)>* body = nullptr;
-    size_t end = 0;
-    size_t grain = 1;
-    std::atomic<size_t> cursor{0};
-    std::atomic<size_t> remaining_workers{0};
-  };
-
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Job* current_job_ = nullptr;
-  uint64_t job_epoch_ = 0;
-  bool shutting_down_ = false;
-  static thread_local bool in_parallel_region_;
+  ThreadPool() = default;
 };
 
 }  // namespace graphbolt

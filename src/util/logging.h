@@ -69,4 +69,17 @@ class LogMessage {
                             __LINE__)                                       \
         << "Check failed: " #cond " "
 
+// Debug-only assertion: compiles to GB_CHECK in debug builds and to nothing
+// (condition not evaluated) when NDEBUG is set. Used for contract violations
+// that are programming errors, not data errors — e.g. calling
+// ThreadPool::SetNumThreads from inside a parallel region.
+#ifdef NDEBUG
+#define GB_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    ::graphbolt::LogMessage(::graphbolt::LogLevel::kFatal, __FILE__, __LINE__)
+#else
+#define GB_DCHECK(cond) GB_CHECK(cond)
+#endif
+
 #endif  // SRC_UTIL_LOGGING_H_

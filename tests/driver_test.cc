@@ -135,6 +135,62 @@ TEST(DriverEquivalence, KickStarterThroughDriverMatchesSequential) {
   ExpectDriverMatchesSequential(engine, reference, batches);
 }
 
+TEST(DriverEquivalence, BackgroundCompactionBitwiseIdenticalAndNeverSynchronous) {
+  ThreadPool::SetNumThreads(1);  // deterministic summation order
+  EdgeList full = GenerateRmat(1200, 9000, {.seed = 41});
+  StreamSplit split = SplitForStreaming(full, 0.5, 42);
+
+  // Pure-delete batches so slack accrues fast enough that compaction must
+  // actually happen somewhere — the point is *where*: the maintenance
+  // windows, never inside an apply. Deletes only because an add that
+  // relocates a hub segment strands its old capacity in one jump, which
+  // can legitimately outrun maintenance into the forced-sync backstop;
+  // deletion slack grows by at most the batch size, so here "never
+  // synchronous" is exact.
+  MutableGraph shadow(split.initial);
+  UpdateStream stream(split.held_back, 43);
+  std::vector<MutationBatch> batches;
+  for (size_t i = 0; i < 12; ++i) {
+    MutationBatch batch = stream.NextBatch(shadow, {.size = 250, .add_fraction = 0.0});
+    shadow.ApplyBatch(batch);
+    batches.push_back(std::move(batch));
+  }
+
+  MutableGraph g_driver(split.initial);
+  MutableGraph g_ref(split.initial);
+  GraphBoltEngine<PageRank> engine(&g_driver, PageRank{});
+  GraphBoltEngine<PageRank> reference(&g_ref, PageRank{});
+  engine.InitialCompute();
+  reference.InitialCompute();
+  {
+    StreamDriver<GraphBoltEngine<PageRank>> driver(
+        &engine, {.batch_size = 1u << 20,
+                  .flush_interval_seconds = 3600.0,
+                  .coalesce = false,
+                  .background_compaction = true,
+                  .maintenance_budget_edges = 4096});
+    for (const MutationBatch& batch : batches) {
+      ASSERT_EQ(driver.IngestBatch(batch), batch.size());
+      driver.Flush();
+      reference.ApplyMutations(batch);
+    }
+    // The reference applies the same stream with default (synchronous)
+    // compaction: per-vertex adjacency order is identical either way, so
+    // the values must match bitwise.
+    const auto& values = driver.values();
+    ASSERT_EQ(values.size(), reference.values().size());
+    for (size_t v = 0; v < values.size(); ++v) {
+      ASSERT_EQ(values[v], reference.values()[v]) << "vertex " << v;
+    }
+    const EngineStats stats = driver.stats();
+    EXPECT_GT(stats.maintenance_steps, 0u);
+    EXPECT_GT(stats.background_compactions, 0u);
+  }
+  const SlackCsr::CompactionStats graph_stats = g_driver.compaction_stats();
+  EXPECT_EQ(graph_stats.sync_compactions, 0u) << "an apply compacted synchronously";
+  EXPECT_EQ(graph_stats.forced_sync_compactions, 0u) << "maintenance fell behind the stream";
+}
+
 TEST(StreamDriverTest, MultiProducerIngestUnderLoadWithMidStreamQuery) {
   ThreadPool::SetNumThreads(2);
   // Addition-only stream: the final graph is order-independent across the

@@ -21,9 +21,13 @@ if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
   SANITIZERS=(address thread)
 fi
 
-# Test targets carrying the `concurrency`, `fault`, or `graph` ctest labels
-# (see tests/CMakeLists.txt and tools/CMakeLists.txt).
-TARGETS=(driver_test parallel_test fault_recovery_test store_serialization_test
+# Test targets carrying the `concurrency`, `fault`, `graph`, or `parallel`
+# ctest labels (see tests/CMakeLists.txt and tools/CMakeLists.txt). The
+# `parallel` tier is the work-stealing runtime: the Chase-Lev deque and the
+# fork-join scheduler are exactly the code whose correctness *is* its
+# memory ordering, so TSan here is load-bearing, not belt-and-braces.
+TARGETS=(driver_test parallel_test task_arena_test
+         fault_recovery_test store_serialization_test
          graph_test mutable_graph_test slack_csr_fuzz_test
          graphbolt_cli example_streaming_service)
 
@@ -36,6 +40,6 @@ for san in "${SANITIZERS[@]}"; do
   echo "=== sanitizer: $san (build dir: $dir) ==="
   cmake -B "$dir" -S . -DGRAPHBOLT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$(nproc)" --target "${TARGETS[@]}"
-  ctest --test-dir "$dir" -L "concurrency|fault|graph" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$dir" -L "concurrency|fault|graph|parallel" --output-on-failure -j "$(nproc)"
   echo "=== $san: OK ==="
 done
