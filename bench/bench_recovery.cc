@@ -5,12 +5,17 @@
 // costs on the ingest path and buys back at recovery. Cadence 0 journals to
 // the WAL but never checkpoints (recovery replays the whole log from the
 // baseline snapshot); cadence 1 checkpoints every batch (near-zero replay
-// tail, maximum write amplification). Fault-injection hooks are NOT compiled
-// into this binary — GB_FAULT_POINT is the literal `false` — so the numbers
-// also bound the cost of the disabled hooks themselves.
+// tail, maximum write amplification). A second sweep floods a squeezed queue
+// under each lossless overflow policy (sentinel layer) and reports where the
+// waiting moved. Fault-injection hooks are NOT compiled into this binary —
+// GB_FAULT_POINT is the literal `false` — so the numbers also bound the cost
+// of the disabled hooks themselves. Both sweeps land in BENCH_recovery.json
+// (BenchJson) for CI trend-diffing.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -28,6 +33,10 @@ constexpr uint64_t kCadences[] = {0, 1, 4, 16, 64};
 // between checkpoints and recovery has a real WAL tail to replay.
 constexpr size_t kBatches = 63;
 constexpr size_t kBatchSize = 512;
+// Overload sweep: the queue is squeezed to this depth so a paced-free flood
+// of the same 63 batches actually hits the overflow policy instead of just
+// draining through.
+constexpr size_t kOverloadQueueDepth = 2;
 
 struct Row {
   uint64_t cadence = 0;
@@ -90,6 +99,94 @@ Row RunOnce(const StreamSplit& split, const std::vector<MutationBatch>& batches,
   return row;
 }
 
+// ----- Overload / shedding scenario ------------------------------------------
+// Floods a depth-2 queue with the full batch stream (no pacing, no barriers
+// between batches) under each lossless overflow policy, then settles with one
+// PrepQuery barrier. kBlock is the backpressure baseline; kShedToWal /
+// kShedOldest divert to the durable shed log and replay at the barrier;
+// kDegrade coalesces in the gutter and serves the stale snapshot meanwhile.
+// All four end bitwise-equal on an addition-only stream, so the interesting
+// output is *where the time went* and how much traffic was diverted.
+
+struct OverloadRow {
+  const char* policy = "";
+  double ingest_seconds = 0.0;   // flood-ingest wall time (producer side)
+  double barrier_seconds = 0.0;  // the settling PrepQuery
+  uint64_t shed_to_wal = 0;      // mutations diverted to the shed log
+  uint64_t shed_replayed = 0;    // shed batches re-applied at the barrier
+  uint64_t evictions = 0;        // kShedOldest queue evictions
+  uint64_t degraded_entries = 0;
+  uint64_t degraded_queries = 0;
+  double apply_ewma_ms = 0.0;    // governor's view of per-batch apply cost
+};
+
+OverloadRow RunOverload(const StreamSplit& split,
+                        const std::vector<MutationBatch>& batches,
+                        StreamDriver<Engine>::OverflowPolicy policy,
+                        const char* policy_name, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  OverloadRow row;
+  row.policy = policy_name;
+
+  MutableGraph graph(split.initial);
+  Engine engine(&graph, PageRank(0.85, kBenchTolerance));
+  engine.InitialCompute();
+  Checkpointer<Engine> checkpointer(&engine, &graph,
+                                    {.directory = dir, .cadence_batches = 16});
+  StreamDriver<Engine> driver(
+      &engine, {.batch_size = kBatchSize,
+                .flush_interval_seconds = 3600.0,
+                .max_pending_batches = kOverloadQueueDepth,
+                .overflow = policy,
+                .coalesce = false,
+                .checkpointer = &checkpointer,
+                // Trip the degraded mode on bench-sized applies: with the
+                // default 2 s pressure threshold a sub-millisecond PageRank
+                // apply would never register as overload.
+                .governor = {.degrade_pressure_seconds = 1e-3,
+                             .recover_pressure_seconds = 1e-4}});
+  driver.CheckpointNow();
+
+  Timer ingest;
+  for (const MutationBatch& batch : batches) {
+    driver.IngestBatch(batch);
+    driver.Flush();
+  }
+  row.ingest_seconds = ingest.Seconds();
+  Timer barrier;
+  driver.PrepQuery();
+  // A degraded-mode PrepQuery serves the stale snapshot without draining;
+  // poll until the governor's pressure recedes (the queue drains on its own
+  // once the flood stops) and a real barrier lands, so barrier_seconds
+  // reports the true settle time, not the degraded fast-return.
+  for (int i = 0; (driver.degraded() || driver.pending_mutations() > 0) && i < 1000;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    driver.PrepQuery();
+  }
+  row.barrier_seconds = barrier.Seconds();
+  driver.Stop();
+
+  const EngineStats stats = driver.stats();
+  row.shed_to_wal = stats.mutations_shed_to_wal;
+  row.shed_replayed = stats.shed_batches_replayed;
+  row.evictions = stats.shed_oldest_evictions;
+  row.degraded_entries = stats.degraded_entries;
+  row.degraded_queries = stats.degraded_queries;
+  row.apply_ewma_ms = stats.apply_ewma_seconds * 1e3;
+
+  // Every policy here is lossless; on an addition-only stream the final graph
+  // is order-independent, so all four must land on the same edge count.
+  MutableGraph expected(split.initial);
+  for (const MutationBatch& batch : batches) {
+    expected.ApplyBatch(batch);
+  }
+  GB_CHECK(graph.num_edges() == expected.num_edges());
+
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
 void Run() {
   PrintHeader(
       "Checkpoint cadence sweep (WK* surrogate, PageRank engine, 63 batches\n"
@@ -103,6 +200,8 @@ void Run() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "graphbolt_bench_recovery").string();
 
+  BenchJson json("recovery");
+
   std::printf("\n%8s %10s %8s %10s %8s %12s %10s\n", "cadence", "stream(s)", "ckpts",
               "ckpt(ms)", "wal", "recover(ms)", "replayed");
   for (const uint64_t cadence : kCadences) {
@@ -112,12 +211,74 @@ void Run() {
                 static_cast<unsigned long long>(row.checkpoints), row.checkpoint_ms,
                 static_cast<unsigned long long>(row.wal_appends), row.recovery_ms,
                 static_cast<unsigned long long>(row.replayed));
+    json.Row()
+        .Str("mode", "cadence")
+        .Num("cadence", static_cast<double>(row.cadence))
+        .Num("stream_seconds", row.stream_seconds)
+        .Num("checkpoints", static_cast<double>(row.checkpoints))
+        .Num("checkpoint_ms", row.checkpoint_ms)
+        .Num("wal_appends", static_cast<double>(row.wal_appends))
+        .Num("recovery_ms", row.recovery_ms)
+        .Num("replayed", static_cast<double>(row.replayed));
   }
   std::printf(
       "\nExpected shape: checkpoint count and checkpoint time fall as the\n"
       "cadence grows while the recovery replay tail (and so recovery time)\n"
       "rises; WAL appends are cadence-independent. The stream column bounds\n"
       "the durability tax over bench_driver_throughput's WAL-free driver.\n");
+
+  PrintHeader(
+      "Overload / shedding sweep: same stream (additions only) flooded into\n"
+      "a depth-2 queue with no pacing, one settling barrier at the end. All\n"
+      "policies are lossless; the sweep measures where the waiting moved.");
+
+  const std::vector<MutationBatch> flood =
+      MakeBatches(split, kBatches, {.size = kBatchSize, .add_fraction = 1.0}, 11);
+  using Overflow = StreamDriver<Engine>::OverflowPolicy;
+  constexpr struct {
+    Overflow policy;
+    const char* name;
+  } kPolicies[] = {{Overflow::kBlock, "block"},
+                   {Overflow::kShedToWal, "shed-to-wal"},
+                   {Overflow::kShedOldest, "shed-oldest"},
+                   {Overflow::kDegrade, "degrade"}};
+
+  std::printf("\n%12s %10s %11s %8s %9s %7s %9s %9s %9s\n", "policy", "ingest(s)",
+              "barrier(s)", "shed", "replayed", "evict", "degr.in", "degr.qry",
+              "ewma(ms)");
+  for (const auto& entry : kPolicies) {
+    const OverloadRow row = RunOverload(split, flood, entry.policy, entry.name, dir);
+    std::printf("%12s %10.3f %11.3f %8llu %9llu %7llu %9llu %9llu %9.3f\n", row.policy,
+                row.ingest_seconds, row.barrier_seconds,
+                static_cast<unsigned long long>(row.shed_to_wal),
+                static_cast<unsigned long long>(row.shed_replayed),
+                static_cast<unsigned long long>(row.evictions),
+                static_cast<unsigned long long>(row.degraded_entries),
+                static_cast<unsigned long long>(row.degraded_queries),
+                row.apply_ewma_ms);
+    json.Row()
+        .Str("mode", "overload")
+        .Str("policy", row.policy)
+        .Num("ingest_seconds", row.ingest_seconds)
+        .Num("barrier_seconds", row.barrier_seconds)
+        .Num("mutations_shed_to_wal", static_cast<double>(row.shed_to_wal))
+        .Num("shed_batches_replayed", static_cast<double>(row.shed_replayed))
+        .Num("shed_oldest_evictions", static_cast<double>(row.evictions))
+        .Num("degraded_entries", static_cast<double>(row.degraded_entries))
+        .Num("degraded_queries", static_cast<double>(row.degraded_queries))
+        .Num("apply_ewma_ms", row.apply_ewma_ms);
+  }
+  std::printf(
+      "\nExpected shape: kBlock pays in ingest (producer stalls), the shed\n"
+      "policies pay at the barrier (replay of the diverted tail), kDegrade\n"
+      "pays nothing up front and defers coalesced work to the barrier.\n");
+
+  const std::string json_path = json.DefaultPath();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace

@@ -16,11 +16,19 @@
 // cold-recovers a second engine purely from disk and checks it agrees with
 // the live one — the restart story a real service needs.
 //
+// The sentinel layer runs too: a stall watchdog is armed by default
+// (--watchdog-ms, 0 disables) and --quarantine-dir screens admissions into a
+// dead-letter WAL — the example offers one poison batch (NaN weights) to
+// show it being parked instead of corrupting the engine. The sentinel
+// counters an operator would dashboard are printed after the drain.
+//
 // Run:  ./example_streaming_service [--producers P] [--batch B] [--queries Q]
 //                                   [--checkpoint-dir D] [--checkpoint-every N]
+//                                   [--quarantine-dir Q] [--watchdog-ms W]
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -37,6 +45,8 @@ int main(int argc, char** argv) {
   args.AddInt("queries", 4, "mid-stream snapshot queries");
   args.AddString("checkpoint-dir", "", "journal + checkpoint here; verify recovery at exit");
   args.AddInt("checkpoint-every", 16, "checkpoint cadence in applied batches");
+  args.AddString("quarantine-dir", "", "screen admissions; park rejects in a dead-letter WAL here");
+  args.AddInt("watchdog-ms", 5000, "stall watchdog timeout (0 disables)");
   if (!args.Parse(argc, argv)) {
     return 1;
   }
@@ -70,10 +80,13 @@ int main(int argc, char** argv) {
 
   Timer wall;
   {
+    const std::string quarantine_dir = args.GetString("quarantine-dir");
     StreamDriver<GraphBoltEngine<PageRank>> driver(
         &engine, {.batch_size = static_cast<size_t>(args.GetInt("batch")),
                   .flush_interval_seconds = 0.01,
-                  .checkpointer = checkpointer.get()});
+                  .checkpointer = checkpointer.get(),
+                  .quarantine_dir = quarantine_dir,
+                  .watchdog_stall_seconds = args.GetInt("watchdog-ms") * 1e-3});
     if (checkpointer) {
       driver.CheckpointNow();  // recoverable from the initial snapshot onward
     }
@@ -116,6 +129,20 @@ int main(int argc, char** argv) {
     for (std::thread& t : producers) {
       t.join();
     }
+
+    // Poison-batch demo: NaN weights never reach the engine — admission
+    // screens the batch and parks it bitwise in the dead-letter WAL, where
+    // ReplayQuarantine() could repair it later. The exactness checks below
+    // still passing is the point.
+    if (!quarantine_dir.empty()) {
+      MutationBatch poison;
+      for (VertexId v = 0; v < 8; ++v) {
+        poison.push_back(EdgeMutation::Add(v, v + 1, std::numeric_limits<float>::quiet_NaN()));
+      }
+      const size_t accepted = driver.IngestBatch(poison);
+      std::printf("poison batch (8 NaN weights): %zu accepted, parked in %s\n", accepted,
+                  quarantine_dir.c_str());
+    }
     driver.PrepQuery();
 
     const EngineStats stats = driver.stats();
@@ -125,8 +152,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.mutations_enqueued),
                 static_cast<unsigned long long>(stats.mutations_coalesced),
                 static_cast<unsigned long long>(stats.mutations_dropped));
+    // The operator's dashboard line: admission, overload, and watchdog
+    // health in one place (all mirrored into EngineStats by the driver).
+    std::printf("sentinel: healthy=%s, %llu batches/%llu mutations quarantined, "
+                "%llu shed-oldest evictions, %llu degraded entries, %llu degraded queries, "
+                "%llu stalls detected, %llu auto-recoveries, apply EWMA %.3f ms\n",
+                driver.healthy() ? "yes" : "NO",
+                static_cast<unsigned long long>(stats.batches_quarantined),
+                static_cast<unsigned long long>(stats.mutations_quarantined),
+                static_cast<unsigned long long>(stats.shed_oldest_evictions),
+                static_cast<unsigned long long>(stats.degraded_entries),
+                static_cast<unsigned long long>(stats.degraded_queries),
+                static_cast<unsigned long long>(stats.stalls_detected),
+                static_cast<unsigned long long>(stats.watchdog_recoveries),
+                stats.apply_ewma_seconds * 1e3);
     if (stats.mutations_enqueued != split.held_back.size() || stats.mutations_dropped != 0) {
       std::printf("FAIL: lost mutations\n");
+      return 1;
+    }
+    if (!quarantine_dir.empty() && stats.batches_quarantined != 1) {
+      std::printf("FAIL: poison batch was not quarantined\n");
       return 1;
     }
   }  // driver destructor: Stop() — idempotent after the explicit drain

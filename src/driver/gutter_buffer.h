@@ -36,6 +36,26 @@ class GutterBuffer {
     buffer_.push_back(mutation);
   }
 
+  // Puts a previously Taken batch back at the *front* of the gutter (the
+  // kDegrade policy: a batch that could not be queued re-merges with
+  // whatever accumulated since, to be re-coalesced and retried as one unit).
+  // The refilled mutations are the oldest in the buffer, so the age epoch
+  // resets to now only as a lower bound — refill under pressure must not
+  // make the gutter look forever-stale and force flush loops.
+  void Refill(MutationBatch&& batch) {
+    if (batch.empty()) {
+      return;
+    }
+    if (buffer_.empty()) {
+      age_.Reset();
+      buffer_ = std::move(batch);
+      return;
+    }
+    batch.insert(batch.end(), std::make_move_iterator(buffer_.begin()),
+                 std::make_move_iterator(buffer_.end()));
+    buffer_ = std::move(batch);
+  }
+
   size_t size() const { return buffer_.size(); }
   bool empty() const { return buffer_.empty(); }
 

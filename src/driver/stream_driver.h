@@ -44,6 +44,21 @@
 // the durable side log (or drop, under kDropNewest) instead of blocking
 // forever behind a dead consumer.
 //
+// Robustness (src/sentinel/): setting Options::quarantine_dir arms
+// admission control — every ingested mutation and batch is screened
+// (vertex range, NaN/Inf weights, size ceiling, flood heuristics) before
+// any driver lock is taken, and rejects are parked bitwise-intact in a
+// dead-letter WAL with a reason code; ReplayQuarantine() re-admits them
+// after operator fix-up. An admission governor tracks an apply-latency
+// EWMA: under the kDegrade overflow policy an overloaded driver coalesces
+// in the gutter instead of blocking, and PrepQuery serves the last
+// consistent snapshot (degraded() reports the flag) instead of waiting on
+// the barrier. kShedOldest evicts the oldest queued batch so the freshest
+// data keeps flowing. Options::watchdog_stall_seconds starts a stall
+// watchdog that heartbeats every pipeline stage; a hung stage marks the
+// driver unhealthy, wakes the barrier waiters, and (with a checkpointer
+// attached) drives Recover() automatically.
+//
 // Ordering semantics: mutations from one producer thread are applied in
 // their ingest order. Mutations racing on different producers have no
 // defined global order — whole batches may interleave — which is
@@ -60,9 +75,12 @@
 #ifndef SRC_DRIVER_STREAM_DRIVER_H_
 #define SRC_DRIVER_STREAM_DRIVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -77,6 +95,9 @@
 #include "src/fault/fault_injector.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/bounded_queue.h"
+#include "src/sentinel/admission.h"
+#include "src/sentinel/quarantine.h"
+#include "src/sentinel/watchdog.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -100,6 +121,13 @@ class StreamDriver {
     kDropNewest,  // shed the batch, counting stats().mutations_dropped
     kShedToWal,   // park the batch in the checkpointer's durable shed log;
                   // it re-enters at the next PrepQuery barrier or recovery
+    kShedOldest,  // evict the *oldest* queued batch (into the shed log when
+                  // a checkpointer is attached, else dropped) to admit the
+                  // fresh one: new data beats stale data under overload
+    kDegrade,     // never block, never lose: a batch that cannot be queued
+                  // re-merges into the gutter to be re-coalesced and
+                  // retried, and PrepQuery serves the last consistent
+                  // snapshot while the governor reports overload
   };
 
   struct Options {
@@ -130,6 +158,26 @@ class StreamDriver {
     // Edge budget per maintenance step, per adjacency view. Bounds the
     // latency a step can add in front of a queued batch.
     size_t maintenance_budget_edges = 1u << 16;
+
+    // ----- Sentinel: admission, overload control, stall watchdog ----------
+    // Non-empty enables admission control: every ingested mutation and
+    // batch is screened against `admission` before any driver lock, and
+    // rejects are parked bitwise-intact (with a RejectReason) in a
+    // dead-letter WAL under this directory (created if absent). Replay
+    // them with ReplayQuarantine() after fix-up.
+    std::string quarantine_dir;
+    AdmissionLimits admission;
+    // Overload-governor thresholds: pressure is pending-queue depth times
+    // the apply-latency EWMA (see sentinel/admission.h).
+    GovernorOptions governor;
+    // Stall watchdog: a pipeline stage continuously busy for this many
+    // seconds is declared stalled — healthy() goes false and barrier
+    // waiters wake. 0 disables the watchdog thread.
+    double watchdog_stall_seconds = 0.0;
+    double watchdog_poll_seconds = 0.05;
+    // On a detected stall, drive Recover() automatically (needs a
+    // checkpointer); otherwise the driver only reports unhealthy.
+    bool watchdog_auto_recover = true;
   };
 
   // The engine must outlive the driver and already hold the initial
@@ -139,6 +187,7 @@ class StreamDriver {
   explicit StreamDriver(Engine* engine, Options options = {})
       : engine_(engine),
         options_(options),
+        governor_(options.governor),
         queue_(options.max_pending_batches),
         checkpointer_(options.checkpointer),
         injector_(options.fault_injector) {
@@ -155,8 +204,17 @@ class StreamDriver {
         options_.background_compaction = false;
       }
     }
+    if (!options_.quarantine_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options_.quarantine_dir, ec);
+      quarantine_ = std::make_unique<Quarantine>(options_.quarantine_dir, injector_);
+    }
     queue_.ArmFaultInjector(injector_);
     worker_ = std::thread([this] { WorkerLoop(); });
+    if (options_.watchdog_stall_seconds > 0.0) {
+      watchdog_.Start({options_.watchdog_poll_seconds, options_.watchdog_stall_seconds},
+                      [this](const StallCause& cause) { OnStall(cause); });
+    }
   }
 
   ~StreamDriver() { Stop(); }
@@ -165,8 +223,17 @@ class StreamDriver {
   StreamDriver& operator=(const StreamDriver&) = delete;
 
   // Thread-safe. Blocks only when a flush hits a full queue under kBlock.
-  // Returns false (and counts the mutation dropped) after Stop().
+  // Returns false (and counts the mutation dropped) after Stop(), or (with
+  // admission control armed) when the mutation fails the screen and is
+  // quarantined instead.
   bool Ingest(const EdgeMutation& mutation) {
+    if (quarantine_ != nullptr) {
+      const AdmissionVerdict verdict = ScreenMutation(mutation, options_.admission);
+      if (!verdict.admitted()) {
+        QuarantineReject(verdict.reason, MutationBatch{mutation});
+        return false;
+      }
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (!accepting_) {
       ++stats_.mutations_dropped;
@@ -181,8 +248,16 @@ class StreamDriver {
   }
 
   // Ingests a pre-built batch mutation by mutation (flush boundaries still
-  // follow Options::batch_size). Returns how many were accepted.
+  // follow Options::batch_size). Returns how many were accepted; 0 with the
+  // whole batch quarantined when admission control rejects it.
   size_t IngestBatch(const MutationBatch& batch) {
+    if (quarantine_ != nullptr) {
+      const AdmissionVerdict verdict = ScreenBatch(batch, options_.admission);
+      if (!verdict.admitted()) {
+        QuarantineReject(verdict.reason, batch);
+        return 0;
+      }
+    }
     std::unique_lock<std::mutex> lock(mu_);
     size_t accepted = 0;
     for (const EdgeMutation& mutation : batch) {
@@ -217,12 +292,21 @@ class StreamDriver {
     if (gutter_.empty() && in_flight_ == 0 && shed_batches_ == 0) {
       return false;  // cached-query fast path
     }
+    if (options_.overflow == OverflowPolicy::kDegrade && governor_.degraded()) {
+      // Degraded serve: under overload, don't block on the barrier. The
+      // engine state is always *some* prefix-consistent BSP snapshot
+      // (whole batches apply under engine_mu_), just not the freshest one;
+      // use QuerySnapshot() to read it race-free. Clears automatically
+      // once the governor's pressure recedes.
+      ++stats_.degraded_queries;
+      return true;
+    }
     for (;;) {
       if (worker_dead_) {
         GB_LOG(kWarning) << "PrepQuery on a crashed driver: snapshot is stale; Recover() first";
         return true;
       }
-      FlushLocked(lock);
+      FlushLocked(lock, /*allow_refill=*/false);
       drained_cv_.wait(lock, [&] { return in_flight_ == 0 || worker_dead_; });
       if (worker_dead_) {
         GB_LOG(kWarning) << "worker died during the query barrier; Recover() first";
@@ -260,6 +344,8 @@ class StreamDriver {
     {
       std::lock_guard<std::mutex> lock(mu_);
       snapshot = stats_;
+      snapshot.apply_ewma_seconds = governor_.apply_ewma_seconds();
+      snapshot.degraded_entries = governor_.degraded_entries();
     }
     if (checkpointer_ != nullptr) {
       checkpointer_->MergeStats(&snapshot);
@@ -281,6 +367,53 @@ class StreamDriver {
     return !worker_dead_;
   }
 
+  // True while the admission governor has the driver in degraded mode
+  // (overload): under kDegrade, PrepQuery serves the last consistent
+  // snapshot instead of blocking on the barrier.
+  bool degraded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return governor_.degraded();
+  }
+
+  // The dead-letter quarantine; null unless Options::quarantine_dir was
+  // set. Inspect parked batches with quarantine()->ForEach.
+  Quarantine* quarantine() { return quarantine_.get(); }
+
+  // Batches currently parked in the dead-letter WAL.
+  uint64_t quarantined_batches() const {
+    return quarantine_ != nullptr ? quarantine_->parked_batches() : 0;
+  }
+
+  // Drains the quarantine through `fixup(RejectReason, MutationBatch&)`.
+  // fixup repairs the batch in place and returns true to re-admit it — the
+  // batch is re-screened, so a still-poison batch goes straight back to
+  // quarantine — or false to discard it. Call on a live (accepting)
+  // driver. Returns the number of parked batches fed to fixup.
+  template <typename Fixup>
+  size_t ReplayQuarantine(Fixup&& fixup) {
+    if (quarantine_ == nullptr) {
+      return 0;
+    }
+    return quarantine_->Drain([&](RejectReason reason, MutationBatch&& batch) {
+      if (!fixup(reason, batch)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.quarantine_discarded;
+        stats_.mutations_dropped += batch.size();
+        return;
+      }
+      const size_t accepted = IngestBatch(batch);
+      if (accepted > 0 || batch.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.quarantine_replayed;
+      }
+    });
+  }
+
+  // Replay with no fix-up: every parked batch is re-screened as-is.
+  size_t ReplayQuarantine() {
+    return ReplayQuarantine([](RejectReason, MutationBatch&) { return true; });
+  }
+
   // Writes a checkpoint of the current engine state immediately — the
   // baseline right after InitialCompute, or an explicit save point.
   bool CheckpointNow() {
@@ -288,6 +421,7 @@ class StreamDriver {
       if (checkpointer_ == nullptr) {
         return false;
       }
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       return checkpointer_->WriteCheckpoint(applied_seq_);
     } else {
@@ -322,6 +456,10 @@ class StreamDriver {
         accepting_ = false;
       }
       queue_.Close();
+      // Cooperative cancellation: a worker parked in an injected stage
+      // stall observes this token, sheds its in-hand batch, and exits so
+      // the join below returns.
+      stall_abort_.store(true);
       if (worker_.joinable()) {
         worker_.join();
       }
@@ -370,7 +508,10 @@ class StreamDriver {
         std::lock_guard<std::mutex> lock(mu_);
         worker_dead_ = false;
         accepting_ = true;
-        shed_batches_ = 0;
+        // Subtract only what DrainShed actually replayed: a producer racing
+        // against recovery may shed into the log after the drain, and that
+        // batch must stay counted or the next barrier would never replay it.
+        shed_batches_ -= std::min(shed_batches_, static_cast<size_t>(replayed_shed));
         if (applied_preserved) {
           // First-time applies (queued + shed) count as applied; WAL-tail
           // re-applications only as replayed.
@@ -390,8 +531,16 @@ class StreamDriver {
           stats_.shed_batches_replayed += replayed_shed;
         }
       }
+      stall_abort_.store(false);
       worker_ = std::thread([this] { WorkerLoop(); });
       stopped_ = false;
+      // Restart the watchdog after a Stop()-then-Recover() revival. No-op
+      // when it is already running — including when this very call runs
+      // *on* the watchdog thread (auto-recovery).
+      if (options_.watchdog_stall_seconds > 0.0 && !watchdog_.running()) {
+        watchdog_.Start({options_.watchdog_poll_seconds, options_.watchdog_stall_seconds},
+                        [this](const StallCause& cause) { OnStall(cause); });
+      }
       if (restored) {
         GB_LOG(kInfo) << "recovered to batch " << applied_seq_ << " (" << replayed_wal
                       << " WAL, " << preserved.size() << " queued, " << replayed_shed
@@ -407,6 +556,10 @@ class StreamDriver {
   // crash the un-applied queue leftovers are parked in the durable shed log
   // (recoverable by a later cold-start Recover) or counted dropped.
   void Stop() {
+    // The watchdog's callback may be inside Recover() — which takes
+    // stop_mu_ — so stop it *before* acquiring stop_mu_ or Stop deadlocks
+    // behind its own watchdog.
+    watchdog_.Stop();
     std::lock_guard<std::mutex> stop_lock(stop_mu_);
     if (stopped_) {
       return;
@@ -414,8 +567,9 @@ class StreamDriver {
     {
       std::unique_lock<std::mutex> lock(mu_);
       accepting_ = false;
-      FlushLocked(lock);
+      FlushLocked(lock, /*allow_refill=*/false);
     }
+    stall_abort_.store(true);  // release a worker parked in an injected stall
     queue_.Close();
     worker_.join();
     bool dead;
@@ -461,12 +615,25 @@ class StreamDriver {
   // in_flight_ covers the unlocked window, keeping the batch visible to
   // PrepQuery and to the worker's stale-flush check throughout.
   //
-  // A push can fail three ways: full under kDropNewest (drop), full under
-  // kShedToWal (shed), or queue closed — shutdown or a crashed worker —
-  // where the batch sheds durably when a checkpointer is attached and
-  // drops otherwise.
-  void FlushLocked(std::unique_lock<std::mutex>& lock) {
+  // Overflow on a full queue follows the policy: kBlock waits (the
+  // backpressure producers feel), kDropNewest drops, kShedToWal sheds
+  // durably, kShedOldest evicts the oldest queued batch into the shed log
+  // (or drops it) to admit the fresh one, and kDegrade puts the batch
+  // *back* into the gutter to be re-coalesced and retried — unless
+  // `allow_refill` is false (query barrier / shutdown), where kDegrade
+  // falls back to a lossless blocking push. A closed queue (shutdown or a
+  // crashed worker) sheds durably when a checkpointer is attached and
+  // drops otherwise, under every policy.
+  void FlushLocked(std::unique_lock<std::mutex>& lock, bool allow_refill = true) {
     if (gutter_.empty()) {
+      return;
+    }
+    if (options_.overflow == OverflowPolicy::kDegrade && allow_refill &&
+        !queue_.closed() && queue_.size() >= queue_.capacity()) {
+      // Coalesce under pressure: leave the batch in the gutter (duplicates
+      // die at the eventual Take) instead of churning Take/Refill on every
+      // ingested mutation while the queue stays full.
+      governor_.Update(queue_.size());
       return;
     }
     TimedBatch item;
@@ -477,22 +644,49 @@ class StreamDriver {
     lock.unlock();
     bool pushed = false;
     double waited = 0.0;
+    std::optional<TimedBatch> evicted;
     if (queue_.TryPush(std::move(item))) {
       pushed = true;
-    } else if (options_.overflow == OverflowPolicy::kBlock) {
+    } else if (options_.overflow == OverflowPolicy::kBlock ||
+               (options_.overflow == OverflowPolicy::kDegrade && !allow_refill)) {
       Timer wait;  // full: this block is the backpressure producers feel
       pushed = queue_.Push(std::move(item));
       waited = wait.Seconds();
+    } else if (options_.overflow == OverflowPolicy::kShedOldest) {
+      pushed = queue_.PushEvictOldest(std::move(item), &evicted);
     }
+    const bool closed = !pushed && queue_.closed();
+    const bool refill = !pushed && !closed && allow_refill &&
+                        options_.overflow == OverflowPolicy::kDegrade;
     bool shed = false;
-    if (!pushed && options_.overflow != OverflowPolicy::kDropNewest &&
+    if (!pushed && !refill && options_.overflow != OverflowPolicy::kDropNewest &&
         checkpointer_ != nullptr) {
       shed = checkpointer_->AppendShed(item.batch);
     }
+    bool evicted_shed = false;
+    if (evicted.has_value() && checkpointer_ != nullptr) {
+      evicted_shed = checkpointer_->AppendShed(evicted->batch);
+    }
     lock.lock();
     stats_.queue_wait_seconds += waited;
+    if (evicted.has_value()) {
+      // The evicted batch leaves the pipeline un-applied: account it shed
+      // (durable) or dropped, and release its in-flight slot.
+      ++stats_.shed_oldest_evictions;
+      if (evicted_shed) {
+        stats_.mutations_shed_to_wal += evicted->batch.size();
+        ++shed_batches_;
+      } else {
+        stats_.mutations_dropped += evicted->batch.size();
+      }
+      if (--in_flight_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
     if (!pushed) {
-      if (shed) {
+      if (refill) {
+        gutter_.Refill(std::move(item.batch));
+      } else if (shed) {
         stats_.mutations_shed_to_wal += mutations;
         ++shed_batches_;
       } else {
@@ -502,48 +696,79 @@ class StreamDriver {
         drained_cv_.notify_all();
       }
     }
+    governor_.Update(queue_.size());
   }
 
   void WorkerLoop() {
-    const auto poll = std::chrono::duration<double>(options_.flush_interval_seconds);
     for (;;) {
-      std::optional<TimedBatch> item = queue_.PopFor(poll);
+      std::optional<TimedBatch> item =
+          queue_.PopFor(std::chrono::duration<double>(NextPollSeconds()));
       if (item.has_value()) {
-        ApplyOne(std::move(*item));
+        if (ApplyOne(std::move(*item))) {
+          return;  // stall-aborted: recovery owns the pipeline now
+        }
         if (WorkerKilled()) {
           return;
         }
         // One maintenance increment per batch keeps compaction overlapped
         // with a saturated stream (the quiescent window between applies).
         MaintenanceTick();
-        continue;
-      }
-      if (queue_.closed()) {
+      } else if (queue_.closed()) {
         if (queue_.Empty()) {
           break;
         }
         continue;
+      } else {
+        MaintenanceTick();  // idle poll: let a pending rewrite advance
       }
-      MaintenanceTick();  // idle poll: let a pending rewrite advance
-      // Poll timeout with no pending work anywhere: flush a stale gutter
-      // and apply it directly. Never through the queue — the worker must
-      // not block behind itself — and only when in_flight_ == 0, so the
-      // gutter's contents are strictly newer than anything already formed
-      // and ordering is preserved.
-      std::unique_lock<std::mutex> lock(mu_);
-      if (in_flight_ == 0 && !gutter_.empty() &&
-          gutter_.AgeSeconds() >= options_.flush_interval_seconds) {
-        TimedBatch stale;
-        stale.batch = gutter_.Take(options_.coalesce, &stats_.mutations_coalesced);
-        stale.since_flush.Reset();
-        ++in_flight_;
-        lock.unlock();
-        ApplyOne(std::move(stale));
-        if (WorkerKilled()) {
-          return;
-        }
+      // The stale check runs after *every* iteration — successful pops
+      // included, so a busy queue cannot starve a stale gutter — against
+      // the monotonic deadline NextPollSeconds carries across polls.
+      if (TryFlushStaleGutter()) {
+        return;
       }
     }
+  }
+
+  // The worker's next wait: the flush interval, shortened so the wait
+  // expires exactly when the gutter's oldest mutation goes stale. This is
+  // the monotonic deadline carried across polls — a pop or short timeout
+  // no longer re-arms the full interval. A gutter already past its
+  // deadline but blocked by an in-flight batch (direct apply would
+  // reorder) gets a short back-off instead of a spin.
+  double NextPollSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (gutter_.empty()) {
+      return options_.flush_interval_seconds;
+    }
+    const double remaining = options_.flush_interval_seconds - gutter_.AgeSeconds();
+    if (remaining <= 0.0) {
+      return in_flight_ > 0 ? 1e-3 : 1e-4;
+    }
+    return remaining;
+  }
+
+  // Flushes a stale gutter and applies it directly — never through the
+  // queue (the worker must not block behind itself), and only when
+  // in_flight_ == 0 so the gutter's contents are strictly newer than
+  // anything already formed and ordering is preserved. Returns true when
+  // the worker must exit (killed or stall-aborted mid-apply).
+  bool TryFlushStaleGutter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ != 0 || gutter_.empty() ||
+        gutter_.AgeSeconds() < options_.flush_interval_seconds) {
+      return false;
+    }
+    StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kGutterFlush);
+    TimedBatch stale;
+    stale.batch = gutter_.Take(options_.coalesce, &stats_.mutations_coalesced);
+    stale.since_flush.Reset();
+    ++in_flight_;
+    lock.unlock();
+    if (ApplyOne(std::move(stale))) {
+      return true;
+    }
+    return WorkerKilled();
   }
 
   // The kWorkerKill site fires between batches (after an apply completes),
@@ -564,9 +789,38 @@ class StreamDriver {
     return true;
   }
 
-  void ApplyOne(TimedBatch item) {
+  // Applies one batch under the engine mutex, with the kApply heartbeat.
+  // Returns true when the apply was cancelled by stall recovery: the
+  // worker must exit, and the in-hand batch has been shed durably (or
+  // counted dropped) so recovery's shed drain replays it.
+  bool ApplyOne(TimedBatch item) {
+    if (GB_FAULT_POINT(injector_, FaultSite::kStageStall)) {
+      // Injected hung apply: park (cooperatively) with the stage reading
+      // busy until recovery cancels via stall_abort_. Parks *outside*
+      // engine_mu_ — a stage that wedged while holding the engine could be
+      // detected but never joined (see watchdog.h).
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply);
+      GB_LOG(kWarning) << "FaultInjector: apply stage stalled";
+      while (!stall_abort_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const bool shed = checkpointer_ != nullptr && checkpointer_->AppendShed(item.batch);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shed) {
+        stats_.mutations_shed_to_wal += item.batch.size();
+        ++shed_batches_;
+      } else {
+        stats_.mutations_dropped += item.batch.size();
+      }
+      if (--in_flight_ == 0) {
+        drained_cv_.notify_all();
+      }
+      return true;
+    }
+    Timer wall;
     EngineStats applied;
     {
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       ApplyJournaled(item.batch);
       applied = engine_->stats();
@@ -581,9 +835,12 @@ class StreamDriver {
     stats_.tasks_stolen += applied.tasks_stolen;
     stats_.inline_runs += applied.inline_runs;
     stats_.flush_latency_seconds += item.since_flush.Seconds();
+    governor_.RecordApply(wall.Seconds());
+    governor_.Update(queue_.size());
     if (--in_flight_ == 0) {
       drained_cv_.notify_all();
     }
+    return false;
   }
 
   // One background-compaction increment in the quiescent window between
@@ -597,6 +854,7 @@ class StreamDriver {
       }
       SlackCsr::CompactionStats compaction;
       {
+        StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kMaintenance);
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
         MutableGraph* graph = engine_->mutable_graph();
         graph->MaintenanceStep(options_.maintenance_budget_edges);
@@ -623,6 +881,7 @@ class StreamDriver {
     engine_->ApplyMutations(batch);
     if (checkpointer_ != nullptr) {
       if constexpr (CheckpointableEngine<Engine>) {
+        StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
         // force: a batch whose WAL record was lost must be captured by a
         // checkpoint before the next crash.
         checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/!journaled);
@@ -667,6 +926,47 @@ class StreamDriver {
     shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
   }
 
+  // Parks a rejected batch in the dead-letter WAL, or counts it dropped
+  // when the dead-letter append itself fails — either way the reject is
+  // accounted for exactly once.
+  void QuarantineReject(RejectReason reason, const MutationBatch& batch) {
+    const bool parked = quarantine_->Append(reason, batch);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (parked) {
+      ++stats_.batches_quarantined;
+      stats_.mutations_quarantined += batch.size();
+    } else {
+      stats_.mutations_dropped += batch.size();
+    }
+    GB_LOG(kWarning) << "admission: rejected batch of " << batch.size() << " mutations ("
+                     << RejectReasonName(reason)
+                     << (parked ? "); quarantined" : "); dead-letter append failed, dropped");
+  }
+
+  // Watchdog verdict: a stage exceeded the stall timeout. Runs on the
+  // watchdog thread, outside the watchdog's lock. Marks the driver
+  // unhealthy and wakes every barrier waiter immediately; with a
+  // checkpointer attached, drives the full recovery path (cancel the
+  // stuck stage, restore, replay, restart).
+  void OnStall(const StallCause& cause) {
+    GB_LOG(kWarning) << "watchdog: stage " << PipelineStageName(cause.stage)
+                     << " stalled for " << cause.stalled_seconds << " s";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.stalls_detected;
+      worker_dead_ = true;
+      drained_cv_.notify_all();
+    }
+    queue_.Close();  // producers fail over to shed/drop, not block
+    if (options_.watchdog_auto_recover && checkpointer_ != nullptr) {
+      if (Recover()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.watchdog_recoveries;
+      }
+      watchdog_.ClearStall();
+    }
+  }
+
   Engine* engine_;
   Options options_;
 
@@ -675,6 +975,9 @@ class StreamDriver {
   std::condition_variable drained_cv_;
   GutterBuffer gutter_;
   EngineStats stats_;
+  // Overload governor: apply-latency EWMA + the degraded flag. Guarded by
+  // mu_ like the stats it feeds.
+  AdmissionGovernor governor_;
   // Batches taken from the gutter but not yet applied (queued, mid-push,
   // or being applied). PrepQuery waits for this to reach zero.
   size_t in_flight_ = 0;
@@ -692,6 +995,13 @@ class StreamDriver {
   std::thread worker_;
   Checkpointer<Engine>* checkpointer_;
   FaultInjector* injector_;
+
+  // Sentinel: the dead-letter quarantine (null unless configured), the
+  // stall watchdog, and the cooperative cancellation token a stalled
+  // stage observes so recovery can join the worker.
+  std::unique_ptr<Quarantine> quarantine_;
+  StallWatchdog watchdog_;
+  std::atomic<bool> stall_abort_{false};
 
   std::mutex stop_mu_;  // serializes Stop/Recover callers; guards stopped_
   bool stopped_ = false;

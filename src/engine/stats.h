@@ -97,6 +97,30 @@ struct EngineStats {
   // slack hit the kForcedSyncSlack backstop (0 when maintenance keeps up).
   uint64_t forced_sync_compactions = 0;
 
+  // ----- Sentinel counters (populated by StreamDriver when admission
+  // control / quarantine / watchdog are configured) --------------------------
+  // Batches refused by admission control and parked in the dead-letter WAL,
+  // and the individual mutations they carried.
+  uint64_t batches_quarantined = 0;
+  uint64_t mutations_quarantined = 0;
+  // ReplayQuarantine outcomes: batches re-admitted into the stream vs.
+  // discarded by the operator's fix-up (or re-quarantined as still-poison).
+  uint64_t quarantine_replayed = 0;
+  uint64_t quarantine_discarded = 0;
+  // Batches evicted from the pending queue by the kShedOldest policy.
+  uint64_t shed_oldest_evictions = 0;
+  // Times the admission governor switched the driver into degraded mode,
+  // and queries answered from the last consistent snapshot while degraded.
+  uint64_t degraded_entries = 0;
+  uint64_t degraded_queries = 0;
+  // Pipeline-stage stalls the watchdog declared, and the automatic
+  // Recover() runs it drove to completion.
+  uint64_t stalls_detected = 0;
+  uint64_t watchdog_recoveries = 0;
+  // The governor's current apply-latency estimate (EWMA seconds); 0 until
+  // the first batch applies.
+  double apply_ewma_seconds = 0.0;
+
   void Clear() { *this = EngineStats{}; }
 };
 

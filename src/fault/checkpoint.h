@@ -51,11 +51,15 @@
 
 namespace graphbolt {
 
-// Retry-with-backoff policy for the durable write paths.
+// Retry-with-backoff policy for the durable write paths. The backoff is
+// capped at max_backoff_seconds and jittered (see util/timer.h), so a
+// deep retry chain can neither wedge the worker unboundedly nor
+// synchronize concurrent retriers.
 struct RetryPolicy {
   int max_attempts = 3;
   double initial_backoff_seconds = 1e-4;
   double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.25;
 };
 
 // On-disk checkpoint format constants, public so format tests can corrupt
@@ -101,7 +105,8 @@ class Checkpointer {
   // false once the retry budget is exhausted (caller should force a
   // checkpoint to supersede the missing record).
   bool AppendWal(uint64_t seq, const MutationBatch& batch) {
-    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier);
+    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier,
+                    options_.retry.max_backoff_seconds);
     for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
       if (attempt > 0) {
         backoff.Sleep();
@@ -179,7 +184,8 @@ class Checkpointer {
     const std::string final_path = PathFor(seq);
     const std::string tmp_path = final_path + ".tmp";
     bool written = false;
-    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier);
+    Backoff backoff(options_.retry.initial_backoff_seconds, options_.retry.backoff_multiplier,
+                    options_.retry.max_backoff_seconds);
     for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
       if (attempt > 0) {
         backoff.Sleep();

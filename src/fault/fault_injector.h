@@ -22,11 +22,14 @@
 namespace graphbolt {
 
 enum class FaultSite : int {
-  kWorkerKill = 0,   // StreamDriver worker thread dies between batches
-  kQueueFull,        // BoundedQueue::TryPush reports an artificial full
-  kWalAppend,        // WAL record serialization fails (retried with backoff)
-  kCheckpointWrite,  // checkpoint serialization fails before commit
-  kTornCheckpoint,   // a committed checkpoint file is torn (truncated)
+  kWorkerKill = 0,    // StreamDriver worker thread dies between batches
+  kQueueFull,         // BoundedQueue::TryPush reports an artificial full
+  kWalAppend,         // WAL record serialization fails (retried with backoff)
+  kCheckpointWrite,   // checkpoint serialization fails before commit
+  kTornCheckpoint,    // a committed checkpoint file is torn (truncated)
+  kQuarantineAppend,  // dead-letter WAL append fails (batch counted dropped)
+  kStageStall,        // the worker's apply stage hangs until recovery
+                      // cancels it (exercises the stall watchdog)
   kNumSites,
 };
 
@@ -42,6 +45,10 @@ inline const char* FaultSiteName(FaultSite site) {
       return "checkpoint-write";
     case FaultSite::kTornCheckpoint:
       return "torn-checkpoint";
+    case FaultSite::kQuarantineAppend:
+      return "quarantine-append";
+    case FaultSite::kStageStall:
+      return "stage-stall";
     default:
       return "unknown";
   }

@@ -48,6 +48,9 @@
 #include "src/kickstarter/kickstarter.h"
 #include "src/kickstarter/kickstarter_engine.h"
 #include "src/minidd/dataflow.h"
+#include "src/sentinel/admission.h"
+#include "src/sentinel/quarantine.h"
+#include "src/sentinel/watchdog.h"
 #include "src/stream/update_stream.h"
 
 namespace graphbolt {

@@ -62,6 +62,26 @@ class BoundedQueue {
     return true;
   }
 
+  // Push that never blocks and never fails while open: when the queue is
+  // full, the *oldest* buffered item is evicted into *evicted to make room
+  // (the kShedOldest overflow policy — fresh data beats stale data under
+  // overload). Returns false only when closed (item untouched); *evicted
+  // is engaged iff an eviction happened.
+  bool PushEvictOldest(T&& item, std::optional<T>* evicted) {
+    evicted->reset();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      evicted->emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   // Blocks until an item is available; empty only when closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);

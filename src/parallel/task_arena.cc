@@ -4,9 +4,6 @@
 
 namespace graphbolt {
 
-thread_local arena_internal::WorkerSlot* TaskArena::tls_slot_ = nullptr;
-thread_local uint32_t TaskArena::steal_seed_ = 0;
-thread_local int TaskArena::region_depth_ = 0;
 
 namespace {
 

@@ -232,7 +232,7 @@ class TaskArena {
   static void SetNumThreads(size_t num_threads);
 
   // True while the calling thread is inside a task or owns a root region.
-  static bool InParallelRegion() { return region_depth_ > 0; }
+  static bool InParallelRegion() { return RegionDepth() > 0; }
 
   size_t num_threads() const { return num_threads_.load(std::memory_order_acquire); }
 
@@ -244,12 +244,20 @@ class TaskArena {
   // it is attached, the arena is parallel, and its deque has been drained
   // (by thieves or by itself). The lazy-binary-splitting trigger.
   bool ShouldSplit() const {
-    const arena_internal::WorkerSlot* slot = tls_slot_;
+    const arena_internal::WorkerSlot* slot = TlsSlot();
     return slot != nullptr && slot->deque.Empty() && num_threads() > 1;
   }
 
  private:
   friend class TaskGroup;
+
+  // Single point of access to the calling thread's slot / region state (the
+  // thread_locals below): keeps every read by-value so call sites can't
+  // accidentally cache a reference across an attach/detach.
+  static arena_internal::WorkerSlot* TlsSlot() { return tls_slot_; }
+  static void SetTlsSlot(arena_internal::WorkerSlot* slot) { tls_slot_ = slot; }
+  static int RegionDepth() { return region_depth_; }
+  static void AdjustRegionDepth(int delta) { region_depth_ += delta; }
 
   TaskArena();
   ~TaskArena();
@@ -268,9 +276,9 @@ class TaskArena {
 
   // Executes a task with the region depth maintained.
   static void ExecuteTask(arena_internal::Task* task) {
-    ++region_depth_;
+    AdjustRegionDepth(1);
     task->run(task);
-    --region_depth_;
+    AdjustRegionDepth(-1);
   }
 
   // Pops one task from the calling thread's own deque; nullptr if empty.
@@ -336,9 +344,14 @@ class TaskArena {
 
   std::atomic<uint64_t> inline_runs_{0};
 
-  static thread_local arena_internal::WorkerSlot* tls_slot_;
-  static thread_local uint32_t steal_seed_;
-  static thread_local int region_depth_;
+  // constinit + inline: the constant initializer is visible in every TU, so
+  // the compiler emits direct TLS accesses instead of routing other-TU reads
+  // through a lazy-init TLS wrapper function. That wrapper is what GCC's
+  // -fsanitize=null instruments into bogus "load of null pointer" reports
+  // (compiler-generated, so no_sanitize attributes cannot reach it).
+  static constinit inline thread_local arena_internal::WorkerSlot* tls_slot_ = nullptr;
+  static constinit inline thread_local uint32_t steal_seed_ = 0;
+  static constinit inline thread_local int region_depth_ = 0;
 };
 
 // Fork-join task group. Create one, Run() any number of closures (from the
@@ -353,16 +366,16 @@ class TaskArena {
 class TaskGroup {
  public:
   TaskGroup() : arena_(TaskArena::Instance()) {
-    if (TaskArena::tls_slot_ == nullptr && arena_.num_threads() > 1) {
+    if (TaskArena::TlsSlot() == nullptr && arena_.num_threads() > 1) {
       // Root region: block resizes, claim a slot, mark the region.
       region_lock_ = std::shared_lock<std::shared_mutex>(arena_.resize_mu_);
       slot_ = arena_.ClaimSlot();
       if (slot_ != nullptr) {
-        TaskArena::tls_slot_ = slot_;
+        TaskArena::SetTlsSlot(slot_);
       } else {
         region_lock_.unlock();  // table full: run inline, don't block resize
       }
-      ++TaskArena::region_depth_;
+      TaskArena::AdjustRegionDepth(1);
       owns_region_ = true;
     }
   }
@@ -372,10 +385,10 @@ class TaskGroup {
     if (owns_region_) {
       if (slot_ != nullptr) {
         DrainOwnDeque();
-        TaskArena::tls_slot_ = nullptr;
+        TaskArena::SetTlsSlot(nullptr);
         arena_.ReleaseSlot(slot_);
       }
-      --TaskArena::region_depth_;
+      TaskArena::AdjustRegionDepth(-1);
     }
   }
 
@@ -388,12 +401,12 @@ class TaskGroup {
   // capture locals of a frame that outlives the group).
   template <typename Fn>
   void Run(Fn&& fn) {
-    arena_internal::WorkerSlot* slot = TaskArena::tls_slot_;
+    arena_internal::WorkerSlot* slot = TaskArena::TlsSlot();
     if (slot == nullptr || arena_.num_threads() == 1) {
       arena_.CountInlineRun();
-      ++TaskArena::region_depth_;
+      TaskArena::AdjustRegionDepth(1);
       fn();
-      --TaskArena::region_depth_;
+      TaskArena::AdjustRegionDepth(-1);
       return;
     }
     using Closure = ClosureTask<std::decay_t<Fn>>;
@@ -407,7 +420,7 @@ class TaskGroup {
     if (pending_.load(std::memory_order_acquire) == 0) {
       return;
     }
-    arena_internal::WorkerSlot* slot = TaskArena::tls_slot_;
+    arena_internal::WorkerSlot* slot = TaskArena::TlsSlot();
     while (pending_.load(std::memory_order_acquire) > 0) {
       arena_internal::Task* task =
           slot != nullptr ? arena_.PopLocal(slot) : nullptr;

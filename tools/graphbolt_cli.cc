@@ -12,8 +12,16 @@
 // the live ones — bitwise with one worker thread, within a relative 1e-9
 // with more (parallel refine applies floating-point scatter contributions
 // in schedule order; see docs/INTERNALS.md §10).
+//
+// The sentinel layer (docs/INTERNALS.md §11) is armed by --quarantine-dir
+// (admission control + dead-letter WAL; tune with --max-batch-edges, demo
+// with --poison-batches), --watchdog-ms (stall watchdog; auto-recovery when
+// a checkpointer is attached), and the extended --overflow family
+// (shed-oldest | degrade).
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "src/graphbolt.h"
@@ -38,6 +46,10 @@ struct CliConfig {
   uint64_t checkpoint_every;
   std::string overflow;
   bool verify_recovery;
+  std::string quarantine_dir;
+  size_t max_batch_edges;
+  uint64_t watchdog_ms;
+  size_t poison_batches;
 };
 
 // Writes one value per line ("vertex value...").
@@ -91,23 +103,45 @@ bool ValueClose(const std::array<T, N>& a, const std::array<T, N>& b, double rel
   return true;
 }
 
-// Streams through a checkpointing driver; with --verify-recovery, rebuilds
-// the engine cold from disk and diffs it against the live one (bitwise when
-// refine is serial, ulp-scale tolerance when parallel — see above).
-// `make_engine` constructs an identically-configured engine on a new graph.
+// Streams through a StreamDriver with the durability and/or sentinel layers
+// armed. --checkpoint-dir enables WAL + checkpoints; --quarantine-dir arms
+// admission control (rejects park in the dead-letter WAL); --watchdog-ms
+// starts the stall watchdog (auto-recovery needs the checkpointer too).
+// With --verify-recovery, rebuilds the engine cold from disk and diffs it
+// against the live one (bitwise when refine is serial, ulp-scale tolerance
+// when parallel — see above). `make_engine` constructs an
+// identically-configured engine on a new graph.
 template <typename Engine, typename MakeEngine>
-int StreamDurable(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
-                  StreamSplit& split, const CliConfig& config) {
+int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
+                 StreamSplit& split, const CliConfig& config) {
   using Driver = StreamDriver<Engine>;
   typename Driver::OverflowPolicy overflow = Driver::OverflowPolicy::kBlock;
   if (config.overflow == "drop") {
     overflow = Driver::OverflowPolicy::kDropNewest;
   } else if (config.overflow == "shed") {
     overflow = Driver::OverflowPolicy::kShedToWal;
+  } else if (config.overflow == "shed-oldest") {
+    overflow = Driver::OverflowPolicy::kShedOldest;
+  } else if (config.overflow == "degrade") {
+    overflow = Driver::OverflowPolicy::kDegrade;
   } else if (config.overflow != "block") {
-    std::printf("unknown overflow policy: %s (block | drop | shed)\n", config.overflow.c_str());
+    std::printf("unknown overflow policy: %s (block | drop | shed | shed-oldest | degrade)\n",
+                config.overflow.c_str());
     return 1;
   }
+  const bool durable = !config.checkpoint_dir.empty();
+  if (overflow == Driver::OverflowPolicy::kShedToWal && !durable) {
+    std::printf("--overflow shed requires --checkpoint-dir (shed batches park in the WAL)\n");
+    return 1;
+  }
+  if (config.verify_recovery && !durable) {
+    std::printf("--verify-recovery requires --checkpoint-dir\n");
+    return 1;
+  }
+  const bool sentinel =
+      !config.quarantine_dir.empty() || config.watchdog_ms > 0 ||
+      overflow == Driver::OverflowPolicy::kShedOldest ||
+      overflow == Driver::OverflowPolicy::kDegrade;
 
   Timer total;
   engine.InitialCompute();
@@ -116,16 +150,31 @@ int StreamDurable(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
               static_cast<unsigned long long>(engine.stats().edges_processed),
               engine.stats().iterations);
 
-  Checkpointer<Engine> checkpointer(
-      &engine, &graph,
-      {.directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
+  std::optional<Checkpointer<Engine>> checkpointer;
+  if (durable) {
+    checkpointer.emplace(
+        &engine, &graph,
+        typename Checkpointer<Engine>::Options{.directory = config.checkpoint_dir,
+                                               .cadence_batches = config.checkpoint_every});
+  }
   {
-    Driver driver(&engine, {.batch_size = config.batch_size,
-                            .flush_interval_seconds = 3600.0,
-                            .overflow = overflow,
-                            .coalesce = false,
-                            .checkpointer = &checkpointer});
-    driver.CheckpointNow();  // baseline: recoverable before the first batch
+    typename Driver::Options driver_options;
+    driver_options.batch_size = config.batch_size;
+    driver_options.flush_interval_seconds = 3600.0;
+    driver_options.overflow = overflow;
+    driver_options.coalesce = false;
+    driver_options.checkpointer = durable ? &*checkpointer : nullptr;
+    driver_options.quarantine_dir = config.quarantine_dir;
+    if (config.max_batch_edges > 0) {
+      driver_options.admission.max_batch_mutations = config.max_batch_edges;
+    }
+    if (config.watchdog_ms > 0) {
+      driver_options.watchdog_stall_seconds = static_cast<double>(config.watchdog_ms) * 1e-3;
+    }
+    Driver driver(&engine, driver_options);
+    if (durable) {
+      driver.CheckpointNow();  // baseline: recoverable before the first batch
+    }
 
     UpdateStream stream(split.held_back, 99);
     for (size_t b = 0; b < config.batches; ++b) {
@@ -133,21 +182,49 @@ int StreamDurable(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
       // (which inspects it for deletable edges) sees applied state.
       const MutationBatch batch = stream.NextBatch(
           graph, {.size = config.batch_size, .add_fraction = config.add_fraction});
-      driver.IngestBatch(batch);
+      const size_t accepted = driver.IngestBatch(batch);
       driver.Flush();
       driver.PrepQuery();
-      std::printf("batch %zu: %zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
-                  batch.size(), engine.stats().seconds * 1e3,
+      std::printf("batch %zu: %zu/%zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
+                  accepted, batch.size(), engine.stats().seconds * 1e3,
                   engine.stats().mutation_seconds * 1e3);
+    }
+    // Demo of the poison path: deliberately malformed batches (NaN weights)
+    // that admission control must bounce into the dead-letter WAL.
+    if (config.poison_batches > 0 && !config.quarantine_dir.empty()) {
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      for (size_t p = 0; p < config.poison_batches; ++p) {
+        MutationBatch poison = {EdgeMutation::Add(1, static_cast<VertexId>(2 + p), nan)};
+        driver.IngestBatch(poison);
+      }
+      std::printf("poison: %zu bad batches offered, %llu parked in %s\n", config.poison_batches,
+                  static_cast<unsigned long long>(driver.quarantined_batches()),
+                  driver.quarantine()->path().c_str());
     }
     driver.Stop();
     const EngineStats stats = driver.stats();
-    std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
-                static_cast<unsigned long long>(stats.checkpoints_written),
-                stats.checkpoint_seconds * 1e3,
-                static_cast<unsigned long long>(stats.wal_appends),
-                static_cast<unsigned long long>(stats.mutations_shed_to_wal),
-                config.checkpoint_dir.c_str());
+    if (durable) {
+      std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
+                  static_cast<unsigned long long>(stats.checkpoints_written),
+                  stats.checkpoint_seconds * 1e3,
+                  static_cast<unsigned long long>(stats.wal_appends),
+                  static_cast<unsigned long long>(stats.mutations_shed_to_wal),
+                  config.checkpoint_dir.c_str());
+    }
+    if (sentinel) {
+      std::printf(
+          "sentinel: %llu quarantined batches (%llu mutations), %llu shed-oldest evictions, "
+          "%llu degraded entries / %llu degraded queries, %llu stalls / %llu auto-recoveries, "
+          "apply EWMA %.2f ms\n",
+          static_cast<unsigned long long>(stats.batches_quarantined),
+          static_cast<unsigned long long>(stats.mutations_quarantined),
+          static_cast<unsigned long long>(stats.shed_oldest_evictions),
+          static_cast<unsigned long long>(stats.degraded_entries),
+          static_cast<unsigned long long>(stats.degraded_queries),
+          static_cast<unsigned long long>(stats.stalls_detected),
+          static_cast<unsigned long long>(stats.watchdog_recoveries),
+          stats.apply_ewma_seconds * 1e3);
+    }
   }
   std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",
               total.Seconds() * 1e3, graph.num_vertices(),
@@ -195,8 +272,9 @@ int StreamDurable(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
 template <typename Engine, typename MakeEngine>
 int Stream(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph, StreamSplit& split,
            const CliConfig& config) {
-  if (!config.checkpoint_dir.empty()) {
-    return StreamDurable(engine, make_engine, graph, split, config);
+  if (!config.checkpoint_dir.empty() || !config.quarantine_dir.empty() ||
+      config.watchdog_ms > 0) {
+    return StreamDriven(engine, make_engine, graph, split, config);
   }
   Timer total;
   engine.InitialCompute();
@@ -294,9 +372,18 @@ int Main(int argc, char** argv) {
   args.AddString("output", "", "write final per-vertex values to this file");
   args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
   args.AddInt("checkpoint-every", 8, "checkpoint cadence in batches (0 = WAL only)");
-  args.AddString("overflow", "block", "backpressure policy: block | drop | shed");
+  args.AddString("overflow", "block",
+                 "backpressure policy: block | drop | shed | shed-oldest | degrade");
   args.AddBool("verify-recovery", false,
                "after streaming, cold-recover from --checkpoint-dir and diff bitwise");
+  args.AddString("quarantine-dir", "",
+                 "arm admission control; rejects park in this dead-letter WAL directory");
+  args.AddInt("max-batch-edges", 0,
+              "admission ceiling on mutations per ingested batch (0 = library default)");
+  args.AddInt("watchdog-ms", 0,
+              "stall watchdog timeout in ms (0 = off; auto-recovery needs --checkpoint-dir)");
+  args.AddInt("poison-batches", 0,
+              "offer this many deliberately malformed batches (demo of --quarantine-dir)");
   if (!args.Parse(argc, argv)) {
     return 1;
   }
@@ -337,6 +424,10 @@ int Main(int argc, char** argv) {
       .checkpoint_every = static_cast<uint64_t>(args.GetInt("checkpoint-every")),
       .overflow = args.GetString("overflow"),
       .verify_recovery = args.GetBool("verify-recovery"),
+      .quarantine_dir = args.GetString("quarantine-dir"),
+      .max_batch_edges = static_cast<size_t>(args.GetInt("max-batch-edges")),
+      .watchdog_ms = static_cast<uint64_t>(args.GetInt("watchdog-ms")),
+      .poison_batches = static_cast<size_t>(args.GetInt("poison-batches")),
   };
 
   const std::string algo = args.GetString("algo");

@@ -1,24 +1,25 @@
 #!/usr/bin/env bash
-# Runs the concurrency + fault + graph test tiers under AddressSanitizer
-# and ThreadSanitizer. These are the tiers that exercise the StreamDriver
-# pipeline, fault-injection sites, checkpoint/recovery paths, and the
-# slack-CSR in-place mutation arena (pointer arithmetic + parallel splices:
-# prime ASan/TSan material), so they are the ones most likely to hide
-# races or lifetime bugs.
+# Runs the concurrency + fault + graph test tiers under AddressSanitizer,
+# ThreadSanitizer, and UndefinedBehaviorSanitizer. These are the tiers that
+# exercise the StreamDriver pipeline, fault-injection sites,
+# checkpoint/recovery paths, the sentinel layer (admission / quarantine /
+# watchdog), and the slack-CSR in-place mutation arena (pointer arithmetic
+# + parallel splices: prime sanitizer material), so they are the ones most
+# likely to hide races, lifetime bugs, or UB.
 #
 # Usage:
-#   tools/run_sanitized_tests.sh            # both sanitizers
+#   tools/run_sanitized_tests.sh            # all three sanitizers
 #   tools/run_sanitized_tests.sh address    # just one
 #
-# Each sanitizer gets its own build tree (build-asan/, build-tsan/) next to
-# the source so the regular build/ stays untouched.
+# Each sanitizer gets its own build tree (build-asan/, build-tsan/,
+# build-ubsan/) next to the source so the regular build/ stays untouched.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS=("$@")
 if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
-  SANITIZERS=(address thread)
+  SANITIZERS=(address thread undefined)
 fi
 
 # Test targets carrying the `concurrency`, `fault`, `graph`, or `parallel`
@@ -27,7 +28,7 @@ fi
 # fork-join scheduler are exactly the code whose correctness *is* its
 # memory ordering, so TSan here is load-bearing, not belt-and-braces.
 TARGETS=(driver_test parallel_test task_arena_test
-         fault_recovery_test store_serialization_test
+         fault_recovery_test store_serialization_test sentinel_test
          graph_test mutable_graph_test slack_csr_fuzz_test
          graphbolt_cli example_streaming_service)
 
@@ -35,11 +36,15 @@ for san in "${SANITIZERS[@]}"; do
   case "$san" in
     address) dir=build-asan ;;
     thread) dir=build-tsan ;;
+    undefined) dir=build-ubsan ;;
     *) dir="build-$san" ;;
   esac
   echo "=== sanitizer: $san (build dir: $dir) ==="
   cmake -B "$dir" -S . -DGRAPHBOLT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$(nproc)" --target "${TARGETS[@]}"
-  ctest --test-dir "$dir" -L "concurrency|fault|graph|parallel" --output-on-failure -j "$(nproc)"
+  # UBSan reports are printed-and-continue by default; halt_on_error turns
+  # any finding into a test failure so CI cannot scroll past it.
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$dir" -L "concurrency|fault|graph|parallel" --output-on-failure -j "$(nproc)"
   echo "=== $san: OK ==="
 done
