@@ -70,11 +70,11 @@ void Run() {
   // GraphBolt: dependency-driven refinement.
   MutableGraph g_exact(split.initial);
   LigraEngine<Lp> exact(&g_exact, algo);
-  exact.Compute();
+  exact.InitialCompute();
 
   MutableGraph g_naive(split.initial);
   LigraEngine<Lp> naive_seed(&g_naive, algo);
-  naive_seed.Compute();
+  naive_seed.InitialCompute();
   std::vector<Value> naive = naive_seed.values();
 
   MutableGraph g_bolt(split.initial);

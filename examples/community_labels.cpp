@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   // Sanity: refined labels equal a restart's labels.
   MutableGraph verify(graph.ToEdgeList());
   LigraEngine<Lp> restart(&verify, algo);
-  restart.Compute();
+  restart.InitialCompute();
   size_t disagreements = 0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     disagreements += dominant(engine.values()[v]) != dominant(restart.values()[v]);

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
   // Verify the refined factors against a from-scratch run.
   MutableGraph verify(graph.ToEdgeList());
   LigraEngine<Cf> restart(&verify, Cf{});
-  restart.Compute();
+  restart.InitialCompute();
   double gap = 0.0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     for (int k = 0; k < kRank; ++k) {

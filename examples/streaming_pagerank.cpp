@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
   ResetEngine<PageRank> reset(&g_reset, algo);
   LigraEngine<PageRank> ligra(&g_ligra, algo);
   bolt.InitialCompute();
-  reset.Compute();
-  ligra.Compute();
+  reset.InitialCompute();
+  ligra.InitialCompute();
 
   UpdateStream stream(split.held_back, 9);
   const size_t batch_size = static_cast<size_t>(args.GetInt("batch"));

@@ -1,30 +1,40 @@
 // A live graph service: producer threads feed edge arrivals into a
-// StreamDriver while a query thread reads fresh PageRank snapshots — the
+// ShardedDriver while a query thread reads fresh PageRank snapshots — the
 // deployment shape the paper motivates (§1: "perform real-time analytics
 // on... continuously evolving graphs"), with the driver supplying the
-// ingestion pipeline the batch engines themselves leave to the caller.
+// multi-lane ingestion pipeline the batch engines themselves leave to the
+// caller.
 //
-// Producers call driver.Ingest() concurrently; the driver gutters the
-// arrivals into batches, a background worker refines the engine, and every
-// QuerySnapshot() is an exact BSP snapshot (identical to recomputing from
-// scratch on the graph at that instant). The example verifies exactly
-// that at the end: drained driver values vs. a from-scratch engine on the
-// final graph.
+// Each producer opens its own Session (driver.OpenSession("producer-P")) —
+// the tenant handle the redesigned API routes all ingestion through — and
+// streams a slice of the arrivals. The driver routes each mutation to the
+// lane owning its source shard (shard_of(v) = v % N), lane workers stage
+// and promote concurrently, and every QuerySnapshot() is an exact BSP
+// snapshot (identical to recomputing from scratch on the graph at that
+// instant). The example verifies exactly that at the end: drained driver
+// values vs. a from-scratch engine on the final graph.
 //
-// With --checkpoint-dir the driver also journals every applied batch to a
-// WAL and snapshots on a cadence; after the stream drains, the example
-// cold-recovers a second engine purely from disk and checks it agrees with
-// the live one — the restart story a real service needs.
+// Configuration is one DriverConfig: DriverConfig::RegisterFlags puts the
+// canonical driver surface (--shards, --batch-size, --overflow,
+// --checkpoint-dir, --quarantine-dir, --default-quota, ...) on the parser,
+// FromCli reads it back with actionable errors, FromEnv applies GRAPHBOLT_*
+// overrides on top.
 //
-// The sentinel layer runs too: a stall watchdog is armed by default
-// (--watchdog-ms, 0 disables) and --quarantine-dir screens admissions into a
-// dead-letter WAL — the example offers one poison batch (NaN weights) to
-// show it being parked instead of corrupting the engine. The sentinel
-// counters an operator would dashboard are printed after the drain.
+// With --checkpoint-dir the driver journals every promoted batch through
+// the global checkpointer (WAL + cadence snapshots); after the stream
+// drains, the example cold-recovers a second engine purely from disk and
+// checks it agrees with the live one — the restart story a real service
+// needs, deliberately run through an unsharded StreamDriver to show the
+// recovery protocol is shared.
 //
-// Run:  ./example_streaming_service [--producers P] [--batch B] [--queries Q]
-//                                   [--checkpoint-dir D] [--checkpoint-every N]
-//                                   [--quarantine-dir Q] [--watchdog-ms W]
+// --quarantine-dir arms admission screening: the example offers one poison
+// batch (NaN weights) through a session to show it being parked in the
+// dead-letter WAL instead of corrupting the engine, without debiting the
+// tenant's quota.
+//
+// Run:  ./example_streaming_service [--producers P] [--queries Q]
+//                                   [--shards N] [--batch-size B]
+//                                   [--checkpoint-dir D] [--quarantine-dir Q]
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -39,59 +49,57 @@
 int main(int argc, char** argv) {
   using namespace graphbolt;
 
-  ArgParser args("Streaming service: concurrent ingestion through StreamDriver");
-  args.AddInt("producers", 3, "concurrent ingest threads");
-  args.AddInt("batch", 256, "driver gutter flush threshold");
+  ArgParser args("Streaming service: concurrent sessions through ShardedDriver");
+  args.AddInt("producers", 3, "concurrent ingest threads (one session each)");
   args.AddInt("queries", 4, "mid-stream snapshot queries");
-  args.AddString("checkpoint-dir", "", "journal + checkpoint here; verify recovery at exit");
-  args.AddInt("checkpoint-every", 16, "checkpoint cadence in applied batches");
-  args.AddString("quarantine-dir", "", "screen admissions; park rejects in a dead-letter WAL here");
-  args.AddInt("watchdog-ms", 5000, "stall watchdog timeout (0 disables)");
+  DriverConfig::RegisterFlags(args);
   if (!args.Parse(argc, argv)) {
     return 1;
   }
-  if (args.GetInt("producers") < 1 || args.GetInt("batch") < 1) {
-    std::printf("--producers and --batch must be >= 1\n");
+  if (args.GetInt("producers") < 1) {
+    std::printf("--producers must be >= 1\n");
+    return 1;
+  }
+  DriverConfig config;
+  std::string config_error;
+  if (!config.FromCli(args, &config_error) || !config.FromEnv(&config_error)) {
+    std::printf("driver config: %s\n", config_error.c_str());
     return 1;
   }
   const size_t num_producers = static_cast<size_t>(args.GetInt("producers"));
 
   EdgeList full = GenerateRmat(15000, 180000, {.seed = 7});
   StreamSplit split = SplitForStreaming(full, 0.5, 8);
-  std::printf("initial graph: %u vertices, %llu edges; %zu arrivals to stream\n",
+  std::printf("initial graph: %u vertices, %llu edges; %zu arrivals to stream "
+              "across %zu shard lanes\n",
               split.initial.num_vertices(),
               static_cast<unsigned long long>(MutableGraph(split.initial).num_edges()),
-              split.held_back.size());
+              split.held_back.size(), config.shards);
 
   MutableGraph graph(split.initial);
   GraphBoltEngine<PageRank> engine(&graph, PageRank{});
   engine.InitialCompute();
   std::printf("initial compute: %.2f ms\n", engine.stats().seconds * 1e3);
 
-  const std::string checkpoint_dir = args.GetString("checkpoint-dir");
   std::unique_ptr<Checkpointer<GraphBoltEngine<PageRank>>> checkpointer;
-  if (!checkpoint_dir.empty()) {
+  if (!config.checkpoint_dir.empty()) {
     checkpointer = std::make_unique<Checkpointer<GraphBoltEngine<PageRank>>>(
         &engine, &graph,
         Checkpointer<GraphBoltEngine<PageRank>>::Options{
-            .directory = checkpoint_dir,
-            .cadence_batches = static_cast<uint64_t>(args.GetInt("checkpoint-every"))});
+            .directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
   }
 
   Timer wall;
   {
-    const std::string quarantine_dir = args.GetString("quarantine-dir");
-    StreamDriver<GraphBoltEngine<PageRank>> driver(
-        &engine, {.batch_size = static_cast<size_t>(args.GetInt("batch")),
-                  .flush_interval_seconds = 0.01,
-                  .checkpointer = checkpointer.get(),
-                  .quarantine_dir = quarantine_dir,
-                  .watchdog_stall_seconds = args.GetInt("watchdog-ms") * 1e-3});
+    ShardedDriver<GraphBoltEngine<PageRank>> driver(&engine, config, checkpointer.get());
     if (checkpointer) {
       driver.CheckpointNow();  // recoverable from the initial snapshot onward
     }
 
-    // Producers: each thread streams a slice of the arrivals.
+    // Producers: each thread opens its own session and streams a slice of
+    // the arrivals. Sessions of distinct tenants are independent quota
+    // domains; here every tenant runs under config.default_quota
+    // (unlimited unless --default-quota was given).
     std::vector<std::vector<Edge>> slices(num_producers);
     for (size_t i = 0; i < split.held_back.size(); ++i) {
       slices[i % num_producers].push_back(split.held_back[i]);
@@ -100,15 +108,17 @@ int main(int argc, char** argv) {
     std::vector<std::thread> producers;
     for (size_t p = 0; p < num_producers; ++p) {
       producers.emplace_back([&, p] {
+        auto session = driver.OpenSession("producer-" + std::to_string(p));
         for (const Edge& e : slices[p]) {
-          driver.Ingest(EdgeMutation::Add(e.src, e.dst, e.weight));
+          session.Ingest(EdgeMutation::Add(e.src, e.dst, e.weight));
           ingested.fetch_add(1, std::memory_order_relaxed);
         }
       });
     }
 
     // Query thread: live snapshots while ingestion runs. Each is a
-    // consistent BSP state of some prefix of the stream.
+    // consistent BSP state of some prefix of the admitted stream (the
+    // two-phase barrier flushes and drains every lane).
     for (int q = 0; q < args.GetInt("queries"); ++q) {
       Timer latency;
       const std::vector<double> ranks = driver.QuerySnapshot();
@@ -131,17 +141,20 @@ int main(int argc, char** argv) {
     }
 
     // Poison-batch demo: NaN weights never reach the engine — admission
-    // screens the batch and parks it bitwise in the dead-letter WAL, where
-    // ReplayQuarantine() could repair it later. The exactness checks below
-    // still passing is the point.
-    if (!quarantine_dir.empty()) {
+    // screens the batch before the quota gate and parks it bitwise in the
+    // dead-letter WAL, where ReplayQuarantine() could repair it later. The
+    // exactness checks below still passing is the point.
+    if (!config.quarantine_dir.empty()) {
+      auto poisoner = driver.OpenSession("poisoner");
       MutationBatch poison;
       for (VertexId v = 0; v < 8; ++v) {
         poison.push_back(EdgeMutation::Add(v, v + 1, std::numeric_limits<float>::quiet_NaN()));
       }
-      const size_t accepted = driver.IngestBatch(poison);
-      std::printf("poison batch (8 NaN weights): %zu accepted, parked in %s\n", accepted,
-                  quarantine_dir.c_str());
+      const size_t accepted = poisoner.IngestBatch(poison);
+      std::printf("poison batch (8 NaN weights): %zu accepted, parked in %s; "
+                  "tenant 'poisoner' quarantined count %llu\n",
+                  accepted, config.quarantine_dir.c_str(),
+                  static_cast<unsigned long long>(poisoner.stats().mutations_quarantined));
     }
     driver.PrepQuery();
 
@@ -152,25 +165,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.mutations_enqueued),
                 static_cast<unsigned long long>(stats.mutations_coalesced),
                 static_cast<unsigned long long>(stats.mutations_dropped));
-    // The operator's dashboard line: admission, overload, and watchdog
+    // The operator's dashboard line: lanes, staging, tenancy, and admission
     // health in one place (all mirrored into EngineStats by the driver).
-    std::printf("sentinel: healthy=%s, %llu batches/%llu mutations quarantined, "
-                "%llu shed-oldest evictions, %llu degraded entries, %llu degraded queries, "
-                "%llu stalls detected, %llu auto-recoveries, apply EWMA %.3f ms\n",
-                driver.healthy() ? "yes" : "NO",
+    std::printf("shards: %llu lanes, %llu batches staged, %llu shard-WAL appends, "
+                "%llu cross-shard mutations, %llu sessions, "
+                "%llu mutations quota-rejected, %llu batches/%llu mutations quarantined\n",
+                static_cast<unsigned long long>(stats.shard_lanes),
+                static_cast<unsigned long long>(stats.shard_batches_staged),
+                static_cast<unsigned long long>(stats.shard_wal_appends),
+                static_cast<unsigned long long>(stats.cross_shard_mutations),
+                static_cast<unsigned long long>(stats.sessions_opened),
+                static_cast<unsigned long long>(stats.mutations_quota_rejected),
                 static_cast<unsigned long long>(stats.batches_quarantined),
-                static_cast<unsigned long long>(stats.mutations_quarantined),
-                static_cast<unsigned long long>(stats.shed_oldest_evictions),
-                static_cast<unsigned long long>(stats.degraded_entries),
-                static_cast<unsigned long long>(stats.degraded_queries),
-                static_cast<unsigned long long>(stats.stalls_detected),
-                static_cast<unsigned long long>(stats.watchdog_recoveries),
-                stats.apply_ewma_seconds * 1e3);
+                static_cast<unsigned long long>(stats.mutations_quarantined));
     if (stats.mutations_enqueued != split.held_back.size() || stats.mutations_dropped != 0) {
       std::printf("FAIL: lost mutations\n");
       return 1;
     }
-    if (!quarantine_dir.empty() && stats.batches_quarantined != 1) {
+    if (!config.quarantine_dir.empty() && stats.batches_quarantined != 1) {
       std::printf("FAIL: poison batch was not quarantined\n");
       return 1;
     }
@@ -198,20 +210,23 @@ int main(int argc, char** argv) {
   }
 
   // Restart story: a brand-new process (fresh graph + engine) recovers the
-  // service state purely from the checkpoint directory. The WAL tail is
-  // replayed with the multi-threaded engine, so agreement is to fp headroom
-  // rather than bitwise (parallel reduction order differs across runs).
+  // service state purely from the checkpoint directory. Recovery goes
+  // through an unsharded StreamDriver on purpose — the sharded driver
+  // journals through the same global checkpointer protocol, so either
+  // driver shape restores the other's checkpoints. The WAL tail is
+  // replayed with the multi-threaded engine, so agreement is to fp
+  // headroom rather than bitwise (parallel reduction order differs).
   if (checkpointer) {
     MutableGraph cold_graph;
     GraphBoltEngine<PageRank> cold(&cold_graph, PageRank{});
     Checkpointer<GraphBoltEngine<PageRank>> restorer(
         &cold, &cold_graph,
-        {.directory = checkpoint_dir,
-         .cadence_batches = static_cast<uint64_t>(args.GetInt("checkpoint-every"))});
+        {.directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
     StreamDriver<GraphBoltEngine<PageRank>> cold_driver(&cold, {.checkpointer = &restorer});
     Timer recovery;
     if (!cold_driver.Recover()) {
-      std::printf("FAIL: recovery found no usable checkpoint in %s\n", checkpoint_dir.c_str());
+      std::printf("FAIL: recovery found no usable checkpoint in %s\n",
+                  config.checkpoint_dir.c_str());
       return 1;
     }
     cold_driver.Stop();

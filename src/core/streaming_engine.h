@@ -21,9 +21,8 @@
 // The contract:
 //
 //   InitialCompute()   runs the full computation from initial values on the
-//                      current graph snapshot (canonical entry point; the
-//                      Ligra-style engines keep Compute() as a deprecated
-//                      alias).
+//                      current graph snapshot (the only entry point; the
+//                      old Ligra-style Compute() alias is gone).
 //   ApplyMutations(b)  applies the batch to the graph and brings the result
 //                      to exactly the new snapshot's, returning the
 //                      normalized (Ea, Ed) effect.

@@ -110,25 +110,30 @@ inline bool DefaultBackgroundCompaction() {
   return env != nullptr && env[0] == '1' && env[1] == '\0';
 }
 
+// What to do with a flushed batch when the pending queue is full. Shared
+// between StreamDriver and the sharded driver's DriverConfig
+// (src/shard/driver_config.h), so it lives at namespace scope; the nested
+// StreamDriver<E>::OverflowPolicy alias keeps existing call sites working.
+enum class OverflowPolicy {
+  kBlock,       // block the flushing producer (lossless backpressure)
+  kDropNewest,  // shed the batch, counting stats().mutations_dropped
+  kShedToWal,   // park the batch in the checkpointer's durable shed log;
+                // it re-enters at the next PrepQuery barrier or recovery
+  kShedOldest,  // evict the *oldest* queued batch (into the shed log when
+                // a checkpointer is attached, else dropped) to admit the
+                // fresh one: new data beats stale data under overload
+  kDegrade,     // never block, never lose: a batch that cannot be queued
+                // re-merges into the gutter to be re-coalesced and
+                // retried, and PrepQuery serves the last consistent
+                // snapshot while the governor reports overload
+};
+
 template <StreamingEngine Engine>
 class StreamDriver {
  public:
   using Value = EngineValueT<Engine>;
 
-  // What to do with a flushed batch when the pending queue is full.
-  enum class OverflowPolicy {
-    kBlock,       // block the flushing producer (lossless backpressure)
-    kDropNewest,  // shed the batch, counting stats().mutations_dropped
-    kShedToWal,   // park the batch in the checkpointer's durable shed log;
-                  // it re-enters at the next PrepQuery barrier or recovery
-    kShedOldest,  // evict the *oldest* queued batch (into the shed log when
-                  // a checkpointer is attached, else dropped) to admit the
-                  // fresh one: new data beats stale data under overload
-    kDegrade,     // never block, never lose: a batch that cannot be queued
-                  // re-merges into the gutter to be re-coalesced and
-                  // retried, and PrepQuery serves the last consistent
-                  // snapshot while the governor reports overload
-  };
+  using OverflowPolicy = ::graphbolt::OverflowPolicy;
 
   struct Options {
     // Gutter flush threshold: mutations per batch handed to the engine.
@@ -819,13 +824,19 @@ class StreamDriver {
     }
     Timer wall;
     EngineStats applied;
+    uint64_t rebuilds = 0;
     {
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       ApplyJournaled(item.batch);
       applied = engine_->stats();
+      if constexpr (GraphMaintainableEngine<Engine>) {
+        rebuilds = engine_->mutable_graph()->adaptive_rebuilds();
+      }
     }
     std::lock_guard<std::mutex> lock(mu_);
+    // The graph's rebuild counter is cumulative; mirror, don't sum.
+    stats_.adaptive_rebuilds = rebuilds;
     ++stats_.batches_applied;
     stats_.seconds += applied.seconds;
     stats_.mutation_seconds += applied.mutation_seconds;

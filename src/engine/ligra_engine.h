@@ -65,10 +65,6 @@ class LigraEngine {
     stats_.seconds = timer.Seconds();
   }
 
-  // Deprecated alias for InitialCompute(), kept for the Ligra-style name
-  // that early callers used. New code should call InitialCompute().
-  void Compute() { InitialCompute(); }
-
   // Applies the batch to the graph and recomputes from scratch.
   // Stats lifecycle (identical across engines, see stats.h): the mutation
   // is timed first, the recompute clears stats, then mutation_seconds is

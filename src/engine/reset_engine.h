@@ -94,10 +94,6 @@ class ResetEngine {
     stats_.seconds = timer.Seconds();
   }
 
-  // Deprecated alias for InitialCompute(), kept for the Ligra-style name
-  // that early callers used. New code should call InitialCompute().
-  void Compute() { InitialCompute(); }
-
   // Stats lifecycle (identical across engines, see stats.h): mutation timed
   // first, recompute clears, then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {

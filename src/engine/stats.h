@@ -121,6 +121,29 @@ struct EngineStats {
   // the first batch applies.
   double apply_ewma_seconds = 0.0;
 
+  // ----- Shard/session counters (populated by ShardedDriver only) ----------
+  // Ingestion lanes the driver runs (DriverConfig::shards).
+  uint64_t shard_lanes = 0;
+  // Batches journaled to a shard WAL and staged into a shard partition by
+  // lane workers (before promotion into the global engine).
+  uint64_t shard_batches_staged = 0;
+  // Per-shard WAL lineage records (distinct from the global wal_appends the
+  // checkpointer writes under the engine mutex).
+  uint64_t shard_wal_appends = 0;
+  // Mutations whose endpoints are owned by different shards (routed to the
+  // source's owner; see src/shard/sharded_driver.h).
+  uint64_t cross_shard_mutations = 0;
+  // Session handles handed out by OpenSession.
+  uint64_t sessions_opened = 0;
+  // Admissions refused by per-tenant quotas (token bucket or lifetime cap).
+  uint64_t mutations_quota_rejected = 0;
+  uint64_t batches_quota_rejected = 0;
+
+  // ----- Adaptive apply (mirrored from MutableGraph by the drivers) --------
+  // Batches whose normalized impact crossed the rebuild threshold and were
+  // applied by a full arena rebuild instead of per-vertex splicing.
+  uint64_t adaptive_rebuilds = 0;
+
   void Clear() { *this = EngineStats{}; }
 };
 

@@ -8,6 +8,8 @@
 #define SRC_ENGINE_VERTEX_SUBSET_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/graph/types.h"
@@ -98,11 +100,80 @@ class VertexSubset {
   mutable size_t dense_applied_ = 0;  // members_[0..dense_applied_) are set in dense_
 };
 
+// Process-wide free list of claim bitsets for FrontierBuilder. EdgeMap /
+// VertexMap construct one builder per step, and a refinement iteration runs
+// many steps over the same universe — without pooling each step pays an
+// O(V/8)-byte allocation plus first-touch page faults. Acquire() hands back
+// a cleared bitset (resized only when the universe changed); Release()
+// clears and parks it. The mutex is uncontended in practice: builders are
+// created and destroyed on the calling thread of a step, not inside the
+// parallel region.
+class FrontierBitsetPool {
+ public:
+  static FrontierBitsetPool& Instance() {
+    static FrontierBitsetPool pool;
+    return pool;
+  }
+
+  AtomicBitset Acquire(VertexId universe) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        AtomicBitset bits = std::move(free_.back());
+        free_.pop_back();
+        ++reuses_;
+        if (bits.size() != static_cast<size_t>(universe)) {
+          bits.Resize(universe);
+        }
+        return bits;  // cleared on Release, so ready to claim into
+      }
+      ++allocations_;
+    }
+    return AtomicBitset(universe);
+  }
+
+  void Release(AtomicBitset&& bits) {
+    bits.ClearAll();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxPooled) {
+      free_.push_back(std::move(bits));
+    }
+  }
+
+  // Builders served from the free list vs. fresh allocations (cumulative).
+  uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+  uint64_t allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocations_;
+  }
+
+ private:
+  // Nested EdgeMaps are rare (one per live step); a short list bounds the
+  // idle footprint while covering fork-join step pipelines.
+  static constexpr size_t kMaxPooled = 8;
+
+  mutable std::mutex mu_;
+  std::vector<AtomicBitset> free_;
+  uint64_t reuses_ = 0;
+  uint64_t allocations_ = 0;
+};
+
 // Concurrent frontier builder: threads claim membership through an atomic
-// bitset and append to thread-chunk-local vectors merged at the end.
+// bitset and append to thread-chunk-local vectors merged at the end. The
+// claim bitset is pooled (FrontierBitsetPool): acquired on construction,
+// cleared and returned on destruction.
 class FrontierBuilder {
  public:
-  explicit FrontierBuilder(VertexId universe) : universe_(universe), claimed_(universe) {}
+  explicit FrontierBuilder(VertexId universe)
+      : universe_(universe), claimed_(FrontierBitsetPool::Instance().Acquire(universe)) {}
+
+  ~FrontierBuilder() { FrontierBitsetPool::Instance().Release(std::move(claimed_)); }
+
+  FrontierBuilder(const FrontierBuilder&) = delete;
+  FrontierBuilder& operator=(const FrontierBuilder&) = delete;
 
   // Returns true if this call claimed v (first insertion wins).
   bool Claim(VertexId v) { return claimed_.Set(v); }

@@ -124,11 +124,79 @@ AppliedMutations MutableGraph::ApplyBatch(const MutationBatch& batch) {
     return result;
   }
 
+  // Splice-vs-rebuild decision: splicing is O(impact) and wins for small
+  // batches; once the normalized impact rivals the edge set, one linear
+  // merge + tight rebuild is cheaper than |impact| per-vertex splices.
+  const size_t impact = result.added.size() + result.deleted.size();
+  const bool rebuild =
+      strategy_ == ApplyStrategy::kRebuild ||
+      (strategy_ == ApplyStrategy::kAuto && impact >= kMinRebuildImpact &&
+       impact * kRebuildImpactFactor >= static_cast<size_t>(num_edges()) + impact);
+  if (rebuild) {
+    RebuildFromEdits(result);
+    ++adaptive_rebuilds_;
+    return result;
+  }
+
   const std::vector<SlackCsr::VertexEdits> out_edits = GroupEdits(result, /*key_by_dst=*/false);
   const std::vector<SlackCsr::VertexEdits> in_edits = GroupEdits(result, /*key_by_dst=*/true);
   out_.ApplyEdits(out_edits);
   in_.ApplyEdits(in_edits);
   return result;
+}
+
+void MutableGraph::RebuildFromEdits(const AppliedMutations& result) {
+  const VertexId n = num_vertices();
+  const std::vector<SlackCsr::VertexEdits> out_edits = GroupEdits(result, /*key_by_dst=*/false);
+  std::vector<Edge> merged;
+  merged.reserve(static_cast<size_t>(num_edges()) + result.added.size());
+  size_t ei = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = out_.Neighbors(v);
+    const auto wts = out_.Weights(v);
+    if (ei >= out_edits.size() || out_edits[ei].vertex != v) {
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        merged.push_back({v, nbrs[i], wts[i]});
+      }
+      continue;
+    }
+    // Three-way merge per touched vertex, all inputs sorted by target. An
+    // add wins a tie with an existing entry (the weight-update lowering
+    // re-inserts under the new weight) and retires any delete of the same
+    // target; a delete drops the existing entry.
+    const SlackCsr::VertexEdits& ed = out_edits[ei];
+    ++ei;
+    size_t i = 0;
+    size_t a = 0;
+    size_t d = 0;
+    while (i < nbrs.size() || a < ed.adds.size()) {
+      if (a < ed.adds.size() && (i >= nbrs.size() || ed.adds[a].first <= nbrs[i])) {
+        const VertexId target = ed.adds[a].first;
+        merged.push_back({v, target, ed.adds[a].second});
+        if (i < nbrs.size() && nbrs[i] == target) {
+          ++i;  // replaced the existing entry
+        }
+        while (d < ed.deletes.size() && ed.deletes[d] <= target) {
+          ++d;  // delete superseded by the re-insert
+        }
+        ++a;
+      } else {
+        const VertexId target = nbrs[i];
+        while (d < ed.deletes.size() && ed.deletes[d] < target) {
+          ++d;
+        }
+        if (d < ed.deletes.size() && ed.deletes[d] == target) {
+          ++d;
+          ++i;
+          continue;
+        }
+        merged.push_back({v, target, wts[i]});
+        ++i;
+      }
+    }
+  }
+  out_.AdoptRebuilt(SlackCsr::FromEdges(n, merged, /*reverse=*/false));
+  in_.AdoptRebuilt(SlackCsr::FromEdges(n, merged, /*reverse=*/true));
 }
 
 EdgeList MutableGraph::ToEdgeList() const {

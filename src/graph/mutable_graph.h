@@ -24,6 +24,23 @@ namespace graphbolt {
 
 class MutableGraph {
  public:
+  // How ApplyBatch turns the normalized edits into arena updates.
+  // kSplice always pays O(batch impact) per-vertex splicing; kRebuild
+  // always rebuilds both views from a linear merge (O(V + E), but with a
+  // much smaller constant than |impact| splices once impact rivals |E|);
+  // kAuto picks per batch from the normalized impact — the crossover
+  // measured by BENCH_mutation_throughput.json (rebuild wins at >= 1e5-edge
+  // batches on ~1e6-edge graphs, splice at 0.82-0.92x below it).
+  enum class ApplyStrategy { kAuto, kSplice, kRebuild };
+
+  // kAuto rebuilds when impact >= kMinRebuildImpact and
+  // impact * kRebuildImpactFactor >= |E| + impact (i.e. the batch touches
+  // more than ~1/24 of the post-apply edge set) — the geometric middle of
+  // the measured 0.8%-8% crossover band, gated by an absolute floor so
+  // small graphs never rebuild.
+  static constexpr size_t kMinRebuildImpact = 32768;
+  static constexpr size_t kRebuildImpactFactor = 24;
+
   MutableGraph() = default;
 
   // Builds from an edge list (deduplicated internally).
@@ -100,9 +117,26 @@ class MutableGraph {
 
   bool CheckInvariants() const { return out_.CheckInvariants() && in_.CheckInvariants() && out_.num_edges() == in_.num_edges(); }
 
+  // Selects the ApplyBatch strategy (default kAuto). Forcing kSplice or
+  // kRebuild pins the path for differential tests and benchmarks.
+  void SetApplyStrategy(ApplyStrategy strategy) { strategy_ = strategy; }
+  ApplyStrategy apply_strategy() const { return strategy_; }
+
+  // Batches applied via the rebuild path since construction (cumulative;
+  // drivers mirror this into EngineStats::adaptive_rebuilds).
+  uint64_t adaptive_rebuilds() const { return adaptive_rebuilds_; }
+
  private:
+  // Rebuilds both views from a linear merge of the current (sorted)
+  // adjacency with the normalized edits. Bitwise-equivalent to splicing:
+  // the merged edge array is sorted by (src, dst) with identical weights,
+  // so Neighbors()/Weights() spans come back in the same order.
+  void RebuildFromEdits(const AppliedMutations& result);
+
   SlackCsr out_;
   SlackCsr in_;
+  ApplyStrategy strategy_ = ApplyStrategy::kAuto;
+  uint64_t adaptive_rebuilds_ = 0;
 };
 
 }  // namespace graphbolt

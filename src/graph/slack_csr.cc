@@ -320,6 +320,18 @@ void SlackCsr::Compact() {
   arena_used_ = total;
 }
 
+void SlackCsr::AdoptRebuilt(SlackCsr&& rebuilt) {
+  const CompactionMode mode = compaction_mode_;
+  CompactionStats stats = compaction_stats_;
+  *this = std::move(rebuilt);
+  compaction_mode_ = mode;
+  compaction_stats_ = stats;
+  shadow_ = ShadowState{};  // unpublished; a wholesale rebuild supersedes it
+  last_apply_ = ApplyStats{};
+  last_apply_.rebuilds = 1;
+  prefix_valid_ = false;
+}
+
 void SlackCsr::SetCompactionMode(CompactionMode mode) {
   if (mode == compaction_mode_) {
     return;

@@ -76,6 +76,7 @@ class SlackCsr {
     size_t relocations = 0;     // segments moved to the arena tail
     size_t compactions = 0;     // whether this apply triggered compaction
     size_t compaction_edges = 0;  // edges moved by that compaction
+    size_t rebuilds = 0;        // arena adopted wholesale (adaptive rebuild)
   };
 
   SlackCsr() = default;
@@ -119,6 +120,17 @@ class SlackCsr {
   // Synchronous; also called automatically when slack passes the threshold
   // in kSync mode. Abandons any in-progress shadow compaction.
   void Compact();
+
+  // Replaces the adjacency content with `rebuilt` (a freshly built tight
+  // arena), keeping this view's compaction mode and cumulative compaction
+  // counters. Any in-progress shadow compaction is abandoned (the rebuilt
+  // arena has zero slack, so there is nothing left to reclaim). This is the
+  // adaptive-rebuild path of MutableGraph::ApplyBatch: when a batch's
+  // normalized impact rivals |E|, a linear-merge rebuild beats per-vertex
+  // splicing (see BENCH_mutation_throughput.json). A rebuilt apply reports
+  // zero edges_spliced in last_apply_stats() — the work was a rebuild, not
+  // a splice — with `rebuilds` counting the adoption.
+  void AdoptRebuilt(SlackCsr&& rebuilt);
 
   // Selects the compaction policy. Switching away from kBackground
   // abandons any in-progress shadow compaction (nothing was published yet,

@@ -51,6 +51,9 @@
 #include "src/sentinel/admission.h"
 #include "src/sentinel/quarantine.h"
 #include "src/sentinel/watchdog.h"
+#include "src/shard/driver_config.h"
+#include "src/shard/session.h"
+#include "src/shard/sharded_driver.h"
 #include "src/stream/update_stream.h"
 
 namespace graphbolt {

@@ -1,0 +1,482 @@
+#include "src/shard/driver_config.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace graphbolt {
+namespace {
+
+// Numeric parsers that reject trailing junk, so "12x" or "" fail loudly
+// instead of truncating.
+bool ParseUint(const std::string& text, uint64_t* value) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || text[0] == '-') {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseNonNegativeDouble(const std::string& text, double* value) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || parsed < 0.0) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+const char* Getenv(const char* name) { return std::getenv(name); }
+
+// One env override: returns false (with *error set) only when the variable
+// is present and malformed.
+template <typename Apply>
+bool EnvOverride(const char* name, std::string* error, Apply&& apply) {
+  const char* raw = Getenv(name);
+  if (raw == nullptr) {
+    return true;
+  }
+  if (!apply(std::string(raw))) {
+    *error = std::string(name) + "=\"" + raw + "\" is not a valid value; " +
+             *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DriverConfig::ParseOverflow(const std::string& name, OverflowPolicy* policy) {
+  if (name == "block") {
+    *policy = OverflowPolicy::kBlock;
+  } else if (name == "drop") {
+    *policy = OverflowPolicy::kDropNewest;
+  } else if (name == "shed") {
+    *policy = OverflowPolicy::kShedToWal;
+  } else if (name == "shed-oldest") {
+    *policy = OverflowPolicy::kShedOldest;
+  } else if (name == "degrade") {
+    *policy = OverflowPolicy::kDegrade;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DriverConfig::OverflowName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kDropNewest:
+      return "drop";
+    case OverflowPolicy::kShedToWal:
+      return "shed";
+    case OverflowPolicy::kShedOldest:
+      return "shed-oldest";
+    case OverflowPolicy::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+bool DriverConfig::ParseQuota(const std::string& spec, TenantQuota* quota,
+                              std::string* error) {
+  TenantQuota parsed;
+  std::string fields[3];
+  size_t field = 0;
+  for (const char c : spec) {
+    if (c == ':') {
+      if (++field >= 3) {
+        *error = "quota spec \"" + spec +
+                 "\" has too many fields; expected rate[:burst[:total]]";
+        return false;
+      }
+    } else {
+      fields[field].push_back(c);
+    }
+  }
+  if (!ParseNonNegativeDouble(fields[0], &parsed.mutations_per_second)) {
+    *error = "quota spec \"" + spec +
+             "\": rate must be a non-negative number (mutations/second; 0 = unlimited)";
+    return false;
+  }
+  if (field >= 1 && !ParseNonNegativeDouble(fields[1], &parsed.burst_mutations)) {
+    *error = "quota spec \"" + spec +
+             "\": burst must be a non-negative number (mutations; 0 = default)";
+    return false;
+  }
+  uint64_t total = 0;
+  if (field >= 2) {
+    if (!ParseUint(fields[2], &total)) {
+      *error = "quota spec \"" + spec +
+               "\": total must be a non-negative integer (mutations; 0 = unlimited)";
+      return false;
+    }
+    parsed.max_total_mutations = total;
+  }
+  *quota = parsed;
+  return true;
+}
+
+void DriverConfig::RegisterFlags(ArgParser& args) {
+  const DriverConfig defaults;
+  args.AddInt("shards", static_cast<int64_t>(defaults.shards),
+              "ingestion shard lanes (1 = unsharded pipeline)");
+  args.AddInt("batch-size", static_cast<int64_t>(defaults.batch_size),
+              "gutter flush threshold: mutations per batch");
+  args.AddDouble("flush-ms", defaults.flush_interval_seconds * 1e3,
+                 "flush a non-full gutter once its oldest mutation is this stale");
+  args.AddInt("max-pending-batches", static_cast<int64_t>(defaults.max_pending_batches),
+              "flushed-batch queue capacity (the backpressure bound)");
+  args.AddString("overflow", OverflowName(defaults.overflow),
+                 "backpressure policy: block | drop | shed | shed-oldest | degrade");
+  args.AddBool("coalesce", defaults.coalesce,
+               "keep only the last mutation per (src,dst) within a flush");
+  args.AddBool("bg-compaction", defaults.background_compaction,
+               "reclaim arena slack in background maintenance steps");
+  args.AddInt("maintenance-budget", static_cast<int64_t>(defaults.maintenance_budget_edges),
+              "edge budget per background maintenance step");
+  args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
+  args.AddInt("checkpoint-every", static_cast<int64_t>(defaults.checkpoint_every),
+              "checkpoint cadence in batches (0 = WAL only)");
+  args.AddString("quarantine-dir", "",
+                 "arm admission control; rejects park in this dead-letter WAL directory");
+  args.AddInt("max-batch-edges", 0,
+              "admission ceiling on mutations per ingested batch (0 = library default)");
+  args.AddInt("watchdog-ms", 0,
+              "stall watchdog timeout in ms (0 = off; auto-recovery needs --checkpoint-dir)");
+  args.AddString("default-quota", "",
+                 "per-tenant quota rate[:burst[:total]] for tenants without an entry");
+  args.AddString("tenant-quotas", "",
+                 "comma-separated tenant=rate[:burst[:total]] quota entries");
+}
+
+bool DriverConfig::FromCli(const ArgParser& args, std::string* error) {
+  const int64_t shards_flag = args.GetInt("shards");
+  if (shards_flag < 1) {
+    *error = "--shards must be >= 1 (got " + std::to_string(shards_flag) + ")";
+    return false;
+  }
+  shards = static_cast<size_t>(shards_flag);
+  const int64_t batch_flag = args.GetInt("batch-size");
+  if (batch_flag < 1) {
+    *error = "--batch-size must be >= 1 (got " + std::to_string(batch_flag) + ")";
+    return false;
+  }
+  batch_size = static_cast<size_t>(batch_flag);
+  const double flush_ms = args.GetDouble("flush-ms");
+  if (flush_ms <= 0.0) {
+    *error = "--flush-ms must be > 0 (got " + std::to_string(flush_ms) + ")";
+    return false;
+  }
+  flush_interval_seconds = flush_ms * 1e-3;
+  const int64_t pending = args.GetInt("max-pending-batches");
+  if (pending < 1) {
+    *error = "--max-pending-batches must be >= 1 (got " + std::to_string(pending) + ")";
+    return false;
+  }
+  max_pending_batches = static_cast<size_t>(pending);
+  if (!ParseOverflow(args.GetString("overflow"), &overflow)) {
+    *error = "--overflow \"" + args.GetString("overflow") +
+             "\" is unknown; use block | drop | shed | shed-oldest | degrade";
+    return false;
+  }
+  coalesce = args.GetBool("coalesce");
+  background_compaction = args.GetBool("bg-compaction");
+  const int64_t budget = args.GetInt("maintenance-budget");
+  if (budget < 1) {
+    *error = "--maintenance-budget must be >= 1 (got " + std::to_string(budget) + ")";
+    return false;
+  }
+  maintenance_budget_edges = static_cast<size_t>(budget);
+  checkpoint_dir = args.GetString("checkpoint-dir");
+  const int64_t cadence = args.GetInt("checkpoint-every");
+  if (cadence < 0) {
+    *error = "--checkpoint-every must be >= 0 (got " + std::to_string(cadence) + ")";
+    return false;
+  }
+  checkpoint_every = static_cast<uint64_t>(cadence);
+  quarantine_dir = args.GetString("quarantine-dir");
+  const int64_t max_edges = args.GetInt("max-batch-edges");
+  if (max_edges < 0) {
+    *error = "--max-batch-edges must be >= 0 (got " + std::to_string(max_edges) + ")";
+    return false;
+  }
+  if (max_edges > 0) {
+    admission.max_batch_mutations = static_cast<size_t>(max_edges);
+  }
+  const int64_t watchdog_ms = args.GetInt("watchdog-ms");
+  if (watchdog_ms < 0) {
+    *error = "--watchdog-ms must be >= 0 (got " + std::to_string(watchdog_ms) + ")";
+    return false;
+  }
+  watchdog_stall_seconds = static_cast<double>(watchdog_ms) * 1e-3;
+  if (!args.GetString("default-quota").empty() &&
+      !ParseQuota(args.GetString("default-quota"), &default_quota, error)) {
+    *error = "--default-quota: " + *error;
+    return false;
+  }
+  const std::string quotas = args.GetString("tenant-quotas");
+  if (!quotas.empty()) {
+    std::string entry;
+    for (size_t i = 0; i <= quotas.size(); ++i) {
+      if (i < quotas.size() && quotas[i] != ',') {
+        entry.push_back(quotas[i]);
+        continue;
+      }
+      if (!entry.empty()) {
+        const size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          *error = "--tenant-quotas entry \"" + entry +
+                   "\" is malformed; expected tenant=rate[:burst[:total]]";
+          return false;
+        }
+        TenantQuota quota;
+        if (!ParseQuota(entry.substr(eq + 1), &quota, error)) {
+          *error = "--tenant-quotas entry \"" + entry + "\": " + *error;
+          return false;
+        }
+        tenant_quotas[entry.substr(0, eq)] = quota;
+        entry.clear();
+      }
+    }
+  }
+  const std::string valid = Validate();
+  if (!valid.empty()) {
+    *error = valid;
+    return false;
+  }
+  return true;
+}
+
+bool DriverConfig::FromEnv(std::string* error) {
+  *error = "";
+  if (!EnvOverride("GRAPHBOLT_SHARDS", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a positive integer shard count";
+        if (!ParseUint(v, &parsed) || parsed == 0) {
+          return false;
+        }
+        shards = static_cast<size_t>(parsed);
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_BATCH_SIZE", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a positive integer batch size";
+        if (!ParseUint(v, &parsed) || parsed == 0) {
+          return false;
+        }
+        batch_size = static_cast<size_t>(parsed);
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_FLUSH_MS", error, [&](const std::string& v) {
+        double parsed = 0.0;
+        *error = "expected a positive flush interval in milliseconds";
+        if (!ParseNonNegativeDouble(v, &parsed) || parsed <= 0.0) {
+          return false;
+        }
+        flush_interval_seconds = parsed * 1e-3;
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_MAX_PENDING_BATCHES", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a positive integer queue capacity";
+        if (!ParseUint(v, &parsed) || parsed == 0) {
+          return false;
+        }
+        max_pending_batches = static_cast<size_t>(parsed);
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_OVERFLOW", error, [&](const std::string& v) {
+        *error = "expected block | drop | shed | shed-oldest | degrade";
+        return ParseOverflow(v, &overflow);
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_BG_COMPACTION", error, [&](const std::string& v) {
+        *error = "expected 0 or 1";
+        if (v != "0" && v != "1") {
+          return false;
+        }
+        background_compaction = v == "1";
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_MAINTENANCE_BUDGET", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a positive integer edge budget";
+        if (!ParseUint(v, &parsed) || parsed == 0) {
+          return false;
+        }
+        maintenance_budget_edges = static_cast<size_t>(parsed);
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_CHECKPOINT_DIR", error, [&](const std::string& v) {
+        checkpoint_dir = v;
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_CHECKPOINT_EVERY", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a non-negative integer cadence";
+        if (!ParseUint(v, &parsed)) {
+          return false;
+        }
+        checkpoint_every = parsed;
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_QUARANTINE_DIR", error, [&](const std::string& v) {
+        quarantine_dir = v;
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_MAX_BATCH_EDGES", error, [&](const std::string& v) {
+        uint64_t parsed = 0;
+        *error = "expected a positive integer mutation ceiling";
+        if (!ParseUint(v, &parsed) || parsed == 0) {
+          return false;
+        }
+        admission.max_batch_mutations = static_cast<size_t>(parsed);
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_WATCHDOG_MS", error, [&](const std::string& v) {
+        double parsed = 0.0;
+        *error = "expected a non-negative timeout in milliseconds";
+        if (!ParseNonNegativeDouble(v, &parsed)) {
+          return false;
+        }
+        watchdog_stall_seconds = parsed * 1e-3;
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_DEFAULT_QUOTA", error, [&](const std::string& v) {
+        std::string quota_error;
+        if (!ParseQuota(v, &default_quota, &quota_error)) {
+          *error = quota_error;
+          return false;
+        }
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_TENANT_QUOTAS", error, [&](const std::string& v) {
+        std::string entry;
+        for (size_t i = 0; i <= v.size(); ++i) {
+          if (i < v.size() && v[i] != ',') {
+            entry.push_back(v[i]);
+            continue;
+          }
+          if (!entry.empty()) {
+            const size_t eq = entry.find('=');
+            std::string quota_error;
+            TenantQuota quota;
+            if (eq == std::string::npos || eq == 0 ||
+                !ParseQuota(entry.substr(eq + 1), &quota, &quota_error)) {
+              *error = "entry \"" + entry +
+                       "\" is malformed; expected tenant=rate[:burst[:total]]" +
+                       (quota_error.empty() ? "" : " (" + quota_error + ")");
+              return false;
+            }
+            tenant_quotas[entry.substr(0, eq)] = quota;
+            entry.clear();
+          }
+        }
+        return true;
+      })) {
+    return false;
+  }
+  const std::string valid = Validate();
+  if (!valid.empty()) {
+    *error = valid;
+    return false;
+  }
+  *error = "";
+  return true;
+}
+
+std::string DriverConfig::Validate() const {
+  if (shards < 1 || shards > 1024) {
+    return "shards must be in [1, 1024] (got " + std::to_string(shards) +
+           "); lanes beyond the core count only add context-switch overhead";
+  }
+  if (batch_size < 1) {
+    return "batch_size must be >= 1";
+  }
+  if (flush_interval_seconds <= 0.0) {
+    return "flush_interval_seconds must be > 0 (a gutter must eventually flush)";
+  }
+  if (max_pending_batches < 1) {
+    return "max_pending_batches must be >= 1 (the queue needs one slot)";
+  }
+  if (maintenance_budget_edges < 1) {
+    return "maintenance_budget_edges must be >= 1";
+  }
+  if (overflow == OverflowPolicy::kShedToWal && checkpoint_dir.empty()) {
+    return "overflow policy \"shed\" parks batches in the durable shed log; "
+           "set checkpoint_dir (--checkpoint-dir) or pick block | drop";
+  }
+  if (shards > 1 && overflow != OverflowPolicy::kBlock &&
+      overflow != OverflowPolicy::kDropNewest) {
+    return std::string("overflow policy \"") + OverflowName(overflow) +
+           "\" is not supported by the sharded driver; use block | drop, or "
+           "shards=1 for the unsharded StreamDriver's shed/degrade policies";
+  }
+  if (watchdog_stall_seconds < 0.0) {
+    return "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)";
+  }
+  if (watchdog_stall_seconds > 0.0 && watchdog_poll_seconds <= 0.0) {
+    return "watchdog_poll_seconds must be > 0 when the watchdog is armed";
+  }
+  if (shards > 1 && watchdog_stall_seconds > 0.0) {
+    return "the stall watchdog is not yet wired into the sharded driver; "
+           "set watchdog_stall_seconds=0 (--watchdog-ms 0) or shards=1";
+  }
+  auto check_quota = [](const std::string& who, const TenantQuota& q) -> std::string {
+    if (q.mutations_per_second < 0.0 || q.burst_mutations < 0.0) {
+      return who + ": quota rate and burst must be >= 0 (0 = unlimited/default)";
+    }
+    return "";
+  };
+  std::string quota_error = check_quota("default_quota", default_quota);
+  if (!quota_error.empty()) {
+    return quota_error;
+  }
+  for (const auto& [tenant, quota] : tenant_quotas) {
+    quota_error = check_quota("tenant_quotas[" + tenant + "]", quota);
+    if (!quota_error.empty()) {
+      return quota_error;
+    }
+  }
+  return "";
+}
+
+}  // namespace graphbolt

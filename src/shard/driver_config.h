@@ -1,0 +1,160 @@
+// DriverConfig: the one validated configuration surface for the streaming
+// drivers.
+//
+// Before the sharded redesign, driver configuration was spread across three
+// places: StreamDriver<E>::Options fields, GRAPHBOLT_* environment
+// variables, and ad-hoc CLI flags re-declared by every binary
+// (--overflow, --quarantine-dir, --watchdog-ms, ...). DriverConfig
+// collapses them: one plain struct carrying shard count, batching,
+// durability, sentinel knobs, and per-tenant quotas, with
+//
+//   - RegisterFlags(args) + FromCli(args, &err): the canonical flag
+//     surface, registered once and parsed back with actionable errors;
+//   - FromEnv(&err): GRAPHBOLT_* overrides (GRAPHBOLT_SHARDS,
+//     GRAPHBOLT_BATCH_SIZE, GRAPHBOLT_OVERFLOW, ...), applied on top of
+//     the current values;
+//   - Validate(): cross-field checks returning an empty string or a
+//     message that says what to change;
+//   - ToStreamOptions<Engine>(): lowering to StreamDriver<E>::Options for
+//     the unsharded driver.
+//
+// ShardedDriver (src/shard/sharded_driver.h) consumes DriverConfig
+// directly; examples and graphbolt_cli build exactly one of these and hand
+// it to whichever driver the shard count selects.
+#ifndef SRC_SHARD_DRIVER_CONFIG_H_
+#define SRC_SHARD_DRIVER_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/driver/stream_driver.h"
+#include "src/sentinel/admission.h"
+#include "src/util/cli.h"
+
+namespace graphbolt {
+
+// Per-tenant admission quota, enforced by ShardedDriver sessions *before*
+// a mutation is routed to a shard lane (on top of the sentinel's content
+// screening). All three limits compose; zero means unlimited.
+struct TenantQuota {
+  // Sustained token-bucket rate, mutations per second.
+  double mutations_per_second = 0.0;
+  // Bucket capacity (how big a burst the tenant may front-load). 0 picks
+  // max(1024, mutations_per_second): one default batch, or a second of
+  // sustained rate, whichever is larger.
+  double burst_mutations = 0.0;
+  // Hard lifetime cap on admitted mutations — deterministic, so tests and
+  // metered trials don't depend on wall-clock refill.
+  uint64_t max_total_mutations = 0;
+};
+
+struct DriverConfig {
+  // ----- Sharding ---------------------------------------------------------
+  // Ingestion lanes: the vertex space is partitioned shard_of(v) = v % N,
+  // and each lane owns its own gutter, queue, worker, WAL lineage, and
+  // staging arena. 1 = the unsharded pipeline shape.
+  size_t shards = 1;
+
+  // ----- Batching (mirrors StreamDriver::Options) -------------------------
+  size_t batch_size = 1024;
+  double flush_interval_seconds = 0.05;
+  size_t max_pending_batches = 4;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  bool coalesce = true;
+
+  // ----- Graph maintenance ------------------------------------------------
+  bool background_compaction = DefaultBackgroundCompaction();
+  size_t maintenance_budget_edges = 1u << 16;
+
+  // ----- Durability -------------------------------------------------------
+  // Non-empty arms WAL + cadence checkpoints (the caller still constructs
+  // the Checkpointer; this carries the knobs to one place).
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 8;
+
+  // ----- Sentinel ---------------------------------------------------------
+  std::string quarantine_dir;
+  AdmissionLimits admission;
+  GovernorOptions governor;
+  double watchdog_stall_seconds = 0.0;
+  double watchdog_poll_seconds = 0.05;
+  bool watchdog_auto_recover = true;
+
+  // ----- Tenancy ----------------------------------------------------------
+  // Quota applied to tenants without an explicit entry (and to the
+  // anonymous default session behind ShardedDriver::Ingest).
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+
+  // Parses an overflow-policy name (block | drop | shed | shed-oldest |
+  // degrade). Returns false on an unknown name, leaving *policy untouched.
+  static bool ParseOverflow(const std::string& name, OverflowPolicy* policy);
+  static const char* OverflowName(OverflowPolicy policy);
+
+  // Parses a quota spec "rate[:burst[:total]]" (e.g. "5000", "5000:20000",
+  // "0:0:1000000"). Returns false with *error set on a malformed spec.
+  static bool ParseQuota(const std::string& spec, TenantQuota* quota, std::string* error);
+
+  // Registers the canonical driver flag surface on `args` (shards,
+  // batch-size, flush-ms, max-pending-batches, overflow, coalesce,
+  // bg-compaction, maintenance-budget, checkpoint-dir, checkpoint-every,
+  // quarantine-dir, max-batch-edges, watchdog-ms, default-quota,
+  // tenant-quotas). Binaries add their own non-driver flags around it.
+  static void RegisterFlags(ArgParser& args);
+
+  // Reads the registered flags back into *this. Returns false with *error
+  // holding an actionable message (which flag, what it got, what it takes).
+  bool FromCli(const ArgParser& args, std::string* error);
+
+  // Applies GRAPHBOLT_* environment overrides onto *this:
+  //   GRAPHBOLT_SHARDS, GRAPHBOLT_BATCH_SIZE, GRAPHBOLT_FLUSH_MS,
+  //   GRAPHBOLT_MAX_PENDING_BATCHES, GRAPHBOLT_OVERFLOW,
+  //   GRAPHBOLT_BG_COMPACTION, GRAPHBOLT_MAINTENANCE_BUDGET,
+  //   GRAPHBOLT_CHECKPOINT_DIR, GRAPHBOLT_CHECKPOINT_EVERY,
+  //   GRAPHBOLT_QUARANTINE_DIR, GRAPHBOLT_MAX_BATCH_EDGES,
+  //   GRAPHBOLT_WATCHDOG_MS, GRAPHBOLT_DEFAULT_QUOTA,
+  //   GRAPHBOLT_TENANT_QUOTAS ("alice=5000,bob=0:0:1000").
+  // Returns false with *error set on an unparsable value.
+  bool FromEnv(std::string* error);
+
+  // Cross-field validation. Returns the empty string when the config is
+  // usable, else one actionable message naming the offending field.
+  std::string Validate() const;
+
+  // The quota for `tenant`: its explicit entry, else default_quota.
+  TenantQuota QuotaFor(const std::string& tenant) const {
+    const auto it = tenant_quotas.find(tenant);
+    return it != tenant_quotas.end() ? it->second : default_quota;
+  }
+
+  // Lowers to the unsharded driver's options (shards and quotas do not
+  // apply there; the checkpointer/injector are runtime objects the caller
+  // owns).
+  template <typename Engine>
+  typename StreamDriver<Engine>::Options ToStreamOptions(
+      Checkpointer<Engine>* checkpointer = nullptr,
+      FaultInjector* fault_injector = nullptr) const {
+    typename StreamDriver<Engine>::Options options;
+    options.batch_size = batch_size;
+    options.flush_interval_seconds = flush_interval_seconds;
+    options.max_pending_batches = max_pending_batches;
+    options.overflow = overflow;
+    options.coalesce = coalesce;
+    options.checkpointer = checkpointer;
+    options.fault_injector = fault_injector;
+    options.background_compaction = background_compaction;
+    options.maintenance_budget_edges = maintenance_budget_edges;
+    options.quarantine_dir = quarantine_dir;
+    options.admission = admission;
+    options.governor = governor;
+    options.watchdog_stall_seconds = watchdog_stall_seconds;
+    options.watchdog_poll_seconds = watchdog_poll_seconds;
+    options.watchdog_auto_recover = watchdog_auto_recover;
+    return options;
+  }
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_SHARD_DRIVER_CONFIG_H_

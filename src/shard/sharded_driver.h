@@ -1,0 +1,737 @@
+// ShardedDriver: a multi-lane, multi-tenant ingestion front-end over one
+// global BSP engine.
+//
+// StreamDriver (src/driver/stream_driver.h) funnels every producer through
+// one gutter, one queue, and one worker. ShardedDriver partitions the
+// vertex space into N shards — shard_of(v) = v % N — and gives each shard
+// its own ingestion *lane*:
+//
+//   sessions ──route by src──► lane gutter ──flush──► lane queue ──► lane
+//   (tenant quota gate)        (batch by size          (backpressure) worker
+//                               or staleness)
+//
+// Each lane owns a gutter, a bounded queue, a worker thread, a per-shard
+// write-ahead log (`<checkpoint_dir>/shard-<i>.wal`), and a *staging
+// partition* — a MutableGraph holding exactly the edges whose source this
+// shard owns, with its own slack-CSR arenas. A lane worker first *stages* a
+// popped batch (journals it to the shard WAL and applies it to the
+// partition, concurrently across lanes), then immediately *promotes* it
+// into the global engine under the engine mutex. Promotion is serialized —
+// the engines are synchronous BSP refiners and cannot apply concurrently —
+// so the engine-lock acquisition order IS the global apply order; an
+// observer hook records it, which is how the equivalence tests replay the
+// admitted stream through an unsharded driver and compare snapshots
+// bitwise.
+//
+// Producers do not call the driver directly: they open a Session
+// (OpenSession(tenant_id)) whose tenant quota — token bucket + lifetime
+// cap, shared across all sessions of the tenant (src/shard/session.h) —
+// gates admission whole-batch-or-nothing *after* the sentinel's content
+// screen and *before* any lane lock. The legacy Ingest/IngestBatch surface
+// delegates to an implicit default session (tenant "", default_quota).
+//
+// PrepQuery is a two-phase barrier:
+//   Phase 1 flushes every lane's gutter remainder into its queue;
+//   Phase 2 waits until every lane's in-flight count reaches zero.
+// Because each mutation is routed by its source vertex, all mutations of
+// one (src, dst) pair traverse the same lane in ingest order, so the
+// admitted stream the engine sees is a legal interleaving of the producers'
+// streams — and after the barrier the engine holds exactly one BSP
+// snapshot of it, the same guarantee StreamDriver's barrier gives.
+//
+// Durability: the *global* checkpointer (WAL + cadence snapshots under the
+// engine mutex, exactly StreamDriver's protocol) remains the recovery
+// source of truth — a cold StreamDriver over the same checkpoint directory
+// recovers the state. The per-shard WALs are lineage: a per-lane record of
+// what each shard staged this run, reset at construction, for
+// observability and shard-local debugging. Overflow is restricted to
+// kBlock / kDropNewest (DriverConfig::Validate rejects the shed/degrade
+// policies for shards > 1; the unsharded driver keeps them).
+#ifndef SRC_SHARD_SHARDED_DRIVER_H_
+#define SRC_SHARD_SHARDED_DRIVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/streaming_engine.h"
+#include "src/driver/gutter_buffer.h"
+#include "src/engine/stats.h"
+#include "src/fault/checkpoint.h"
+#include "src/fault/wal.h"
+#include "src/graph/mutable_graph.h"
+#include "src/graph/mutation.h"
+#include "src/parallel/bounded_queue.h"
+#include "src/sentinel/admission.h"
+#include "src/sentinel/quarantine.h"
+#include "src/shard/driver_config.h"
+#include "src/shard/session.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace graphbolt {
+
+template <StreamingEngine Engine>
+class ShardedDriver {
+ public:
+  using Value = EngineValueT<Engine>;
+  // Called under the engine mutex immediately before each promotion, in
+  // global apply order: (owning lane, the batch as applied).
+  using ApplyObserver = std::function<void(size_t lane, const MutationBatch& batch)>;
+
+  // The producer handle: a movable, non-copyable capability to ingest as
+  // one tenant. All sessions of a tenant share quota state; the handle
+  // borrows it and must not outlive the driver.
+  class Session {
+   public:
+    Session() = default;
+    Session(Session&& other) noexcept
+        : driver_(other.driver_), state_(other.state_) {
+      other.driver_ = nullptr;
+      other.state_ = nullptr;
+    }
+    Session& operator=(Session&& other) noexcept {
+      driver_ = other.driver_;
+      state_ = other.state_;
+      other.driver_ = nullptr;
+      other.state_ = nullptr;
+      return *this;
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    bool valid() const { return driver_ != nullptr; }
+    const std::string& tenant() const { return state_->tenant(); }
+
+    // Thread-safe. False when the quota gate, the admission screen, or a
+    // stopped driver refused the mutation.
+    bool Ingest(const EdgeMutation& mutation) {
+      return driver_->IngestFor(state_, mutation);
+    }
+
+    // Whole-batch quota admission, then per-lane routing. Returns how many
+    // mutations entered the pipeline (0 on a quota or screen rejection).
+    size_t IngestBatch(const MutationBatch& batch) {
+      return driver_->IngestBatchFor(state_, batch);
+    }
+
+    // This tenant's cumulative quota accounting.
+    TenantStats stats() const { return state_->stats(); }
+
+   private:
+    friend ShardedDriver;
+    Session(ShardedDriver* driver, TenantState* state)
+        : driver_(driver), state_(state) {}
+
+    ShardedDriver* driver_ = nullptr;
+    TenantState* state_ = nullptr;
+  };
+
+  // The engine must outlive the driver and already hold the initial
+  // snapshot (run InitialCompute first). `config` must pass Validate().
+  // The checkpointer, when given, is the global durability authority —
+  // attach it exactly as with StreamDriver.
+  explicit ShardedDriver(Engine* engine, DriverConfig config,
+                         Checkpointer<Engine>* checkpointer = nullptr)
+      : engine_(engine), config_(std::move(config)), checkpointer_(checkpointer) {
+    const std::string invalid = config_.Validate();
+    GB_CHECK(invalid.empty()) << "DriverConfig: " << invalid;
+    if (config_.background_compaction) {
+      if constexpr (GraphMaintainableEngine<Engine>) {
+        engine_->mutable_graph()->SetCompactionMode(SlackCsr::CompactionMode::kBackground);
+      } else {
+        GB_LOG(kWarning) << "background_compaction requested but the engine "
+                            "does not expose its graph; staying synchronous";
+        config_.background_compaction = false;
+      }
+    }
+    if (!config_.quarantine_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.quarantine_dir, ec);
+      quarantine_ = std::make_unique<Quarantine>(config_.quarantine_dir, nullptr);
+    }
+    const bool wal_enabled = !config_.checkpoint_dir.empty();
+    if (wal_enabled) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    }
+    lanes_.reserve(config_.shards);
+    for (size_t i = 0; i < config_.shards; ++i) {
+      lanes_.push_back(std::make_unique<Lane>(i, config_.max_pending_batches));
+      Lane& lane = *lanes_.back();
+      if (wal_enabled) {
+        lane.wal.Open(config_.checkpoint_dir + "/shard-" + std::to_string(i) + ".wal");
+        lane.wal.Reset();  // this run's lineage, not a recovery source
+        lane.wal_enabled = true;
+      }
+      if (config_.background_compaction) {
+        lane.partition.SetCompactionMode(SlackCsr::CompactionMode::kBackground);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.shard_lanes = lanes_.size();
+    }
+    for (auto& lane : lanes_) {
+      Lane* raw = lane.get();
+      raw->worker = std::thread([this, raw] { LaneLoop(*raw); });
+    }
+  }
+
+  ~ShardedDriver() { Stop(); }
+
+  ShardedDriver(const ShardedDriver&) = delete;
+  ShardedDriver& operator=(const ShardedDriver&) = delete;
+
+  size_t shards() const { return lanes_.size(); }
+  const DriverConfig& config() const { return config_; }
+
+  // Opens (or re-opens) a session for `tenant`. Sessions of one tenant
+  // share quota state, so a tenant cannot widen its allowance by opening
+  // more of them.
+  Session OpenSession(const std::string& tenant) {
+    TenantState* state = GetTenantState(tenant);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sessions_opened;
+    }
+    return Session(this, state);
+  }
+
+  // Legacy surface: the pre-session Ingest/IngestBatch API, delegating to
+  // the implicit default session (tenant "", config.default_quota).
+  bool Ingest(const EdgeMutation& mutation) {
+    return IngestFor(GetTenantState(std::string()), mutation);
+  }
+  size_t IngestBatch(const MutationBatch& batch) {
+    return IngestBatchFor(GetTenantState(std::string()), batch);
+  }
+
+  // Hands every lane's gutter remainder to its worker.
+  void Flush() {
+    for (auto& lane : lanes_) {
+      std::unique_lock<std::mutex> lock(lane->mu);
+      FlushLaneLocked(*lane, lock);
+    }
+  }
+
+  // Two-phase query barrier. Phase 1 flushes every lane; phase 2 drains
+  // them. On return every mutation ingested before the call has been
+  // promoted, so the engine holds an exact BSP snapshot of the admitted
+  // stream. Returns false on the fast path (nothing buffered or in flight
+  // anywhere — the previous snapshot is still current).
+  bool PrepQuery() {
+    bool idle = true;
+    for (auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      if (!lane->gutter.empty() || lane->in_flight != 0) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      return false;
+    }
+    for (auto& lane : lanes_) {
+      std::unique_lock<std::mutex> lock(lane->mu);
+      FlushLaneLocked(*lane, lock);
+    }
+    for (auto& lane : lanes_) {
+      std::unique_lock<std::mutex> lock(lane->mu);
+      lane->drained_cv.wait(lock, [&] { return lane->in_flight == 0; });
+    }
+    return true;
+  }
+
+  // Barrier + reference to the engine's values (see StreamDriver::values
+  // for the aliasing caveats — meant for quiescent callers).
+  const std::vector<Value>& values() {
+    PrepQuery();
+    return engine_->values();
+  }
+
+  // Barrier + copy, safe under concurrent ingestion from other threads.
+  std::vector<Value> QuerySnapshot() {
+    PrepQuery();
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    return engine_->values();
+  }
+
+  // Cumulative driver statistics; the shard block (shard_lanes,
+  // shard_batches_staged, shard_wal_appends, cross_shard_mutations,
+  // sessions_opened, *_quota_rejected) is populated only here.
+  EngineStats stats() const {
+    EngineStats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      snapshot = stats_;
+    }
+    if (checkpointer_ != nullptr) {
+      checkpointer_->MergeStats(&snapshot);
+    }
+    return snapshot;
+  }
+
+  // Mutations buffered across all lane gutters (not yet flushed).
+  size_t pending_mutations() const {
+    size_t pending = 0;
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      pending += lane->gutter.size();
+    }
+    return pending;
+  }
+
+  // Registers the promotion-order observer. Call before ingestion starts;
+  // the hook runs under the engine mutex, so keep it cheap.
+  void set_apply_observer(ApplyObserver observer) {
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    observer_ = std::move(observer);
+  }
+
+  // A quiescent snapshot of lane i's staging partition — the edges whose
+  // source vertex shard i owns. Call only while no producer can trigger a
+  // flush (after PrepQuery with ingestion paused, or after Stop); the
+  // barrier's lane handshake makes the worker's writes visible.
+  EdgeList ShardPartitionEdges(size_t lane) const {
+    GB_CHECK(lane < lanes_.size()) << "lane " << lane << " out of range";
+    return lanes_[lane]->partition.ToEdgeList();
+  }
+
+  // The dead-letter quarantine; null unless config.quarantine_dir was set.
+  Quarantine* quarantine() { return quarantine_.get(); }
+  uint64_t quarantined_batches() const {
+    return quarantine_ != nullptr ? quarantine_->parked_batches() : 0;
+  }
+
+  // Drains the quarantine through fixup(reason, batch&) — see
+  // StreamDriver::ReplayQuarantine. Re-admission goes through the default
+  // session (an operator action, but still quota-accounted).
+  template <typename Fixup>
+  size_t ReplayQuarantine(Fixup&& fixup) {
+    if (quarantine_ == nullptr) {
+      return 0;
+    }
+    return quarantine_->Drain([&](RejectReason reason, MutationBatch&& batch) {
+      if (!fixup(reason, batch)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.quarantine_discarded;
+        stats_.mutations_dropped += batch.size();
+        return;
+      }
+      const size_t accepted = IngestBatch(batch);
+      if (accepted > 0 || batch.empty()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.quarantine_replayed;
+      }
+    });
+  }
+  size_t ReplayQuarantine() {
+    return ReplayQuarantine([](RejectReason, MutationBatch&) { return true; });
+  }
+
+  // Writes a global checkpoint of the current engine state immediately.
+  bool CheckpointNow() {
+    if constexpr (CheckpointableEngine<Engine>) {
+      if (checkpointer_ == nullptr) {
+        return false;
+      }
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      return checkpointer_->WriteCheckpoint(applied_seq_);
+    } else {
+      return false;
+    }
+  }
+
+  // Drains and shuts down: lanes stop accepting, gutter remainders flush,
+  // every queued batch is promoted, workers join. Idempotent; called by
+  // the destructor.
+  void Stop() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_) {
+      return;
+    }
+    for (auto& lane : lanes_) {
+      std::unique_lock<std::mutex> lock(lane->mu);
+      lane->accepting = false;
+      FlushLaneLocked(*lane, lock);
+    }
+    for (auto& lane : lanes_) {
+      lane->queue.Close();
+    }
+    for (auto& lane : lanes_) {
+      if (lane->worker.joinable()) {
+        lane->worker.join();
+      }
+    }
+    stopped_ = true;
+  }
+
+ private:
+  struct TimedBatch {
+    MutationBatch batch;
+    Timer since_flush;
+  };
+
+  // One ingestion lane: everything shard i owns. The mutex guards the
+  // gutter, in_flight, and accepting; the queue synchronizes itself; the
+  // WAL, wal_seq, and partition are touched only by the lane worker (and
+  // by quiescent readers after the barrier handshake).
+  struct Lane {
+    Lane(size_t index, size_t queue_capacity) : index(index), queue(queue_capacity) {}
+
+    const size_t index;
+    mutable std::mutex mu;
+    std::condition_variable drained_cv;
+    GutterBuffer gutter;
+    // Batches taken from the gutter but not yet promoted (queued, mid-push,
+    // or being applied). The barrier's phase 2 waits for zero.
+    size_t in_flight = 0;
+    bool accepting = true;
+    BoundedQueue<TimedBatch> queue;
+    std::thread worker;
+    bool wal_enabled = false;
+    WriteAheadLog wal;
+    uint64_t wal_seq = 0;
+    MutableGraph partition;
+  };
+
+  size_t ShardOf(VertexId v) const { return static_cast<size_t>(v) % lanes_.size(); }
+
+  TenantState* GetTenantState(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      it = tenants_
+               .emplace(tenant, std::make_unique<TenantState>(tenant, config_.QuotaFor(tenant)))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  bool IngestFor(TenantState* state, const EdgeMutation& mutation) {
+    if (quarantine_ != nullptr) {
+      const AdmissionVerdict verdict = ScreenMutation(mutation, config_.admission);
+      if (!verdict.admitted()) {
+        QuarantineReject(verdict.reason, MutationBatch{mutation}, state);
+        return false;
+      }
+    }
+    if (!state->TryAdmit(1)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.mutations_quota_rejected;
+      ++stats_.batches_quota_rejected;
+      return false;
+    }
+    const bool cross = ShardOf(mutation.src) != ShardOf(mutation.dst);
+    Lane& lane = *lanes_[ShardOf(mutation.src)];
+    {
+      std::unique_lock<std::mutex> lock(lane.mu);
+      if (!lane.accepting) {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.mutations_dropped;
+        return false;
+      }
+      lane.gutter.Add(mutation);
+      if (lane.gutter.size() >= config_.batch_size) {
+        FlushLaneLocked(lane, lock);
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.mutations_enqueued;
+    stats_.cross_shard_mutations += cross ? 1 : 0;
+    return true;
+  }
+
+  size_t IngestBatchFor(TenantState* state, const MutationBatch& batch) {
+    if (batch.empty()) {
+      return 0;
+    }
+    if (quarantine_ != nullptr) {
+      const AdmissionVerdict verdict = ScreenBatch(batch, config_.admission);
+      if (!verdict.admitted()) {
+        QuarantineReject(verdict.reason, batch, state);
+        return 0;
+      }
+    }
+    if (!state->TryAdmit(batch.size())) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.mutations_quota_rejected += batch.size();
+      ++stats_.batches_quota_rejected;
+      return 0;
+    }
+    // Route by source shard, preserving intra-lane ingest order — all
+    // mutations of one (src, dst) pair share a lane, so per-pair order is
+    // exactly the producer's.
+    std::vector<MutationBatch> per_lane(lanes_.size());
+    uint64_t cross = 0;
+    for (const EdgeMutation& m : batch) {
+      per_lane[ShardOf(m.src)].push_back(m);
+      cross += ShardOf(m.src) != ShardOf(m.dst) ? 1 : 0;
+    }
+    size_t accepted = 0;
+    size_t dropped = 0;
+    for (size_t i = 0; i < per_lane.size(); ++i) {
+      if (per_lane[i].empty()) {
+        continue;
+      }
+      Lane& lane = *lanes_[i];
+      std::unique_lock<std::mutex> lock(lane.mu);
+      for (size_t j = 0; j < per_lane[i].size(); ++j) {
+        if (!lane.accepting) {  // re-checked: FlushLaneLocked drops the lock
+          dropped += per_lane[i].size() - j;
+          break;
+        }
+        lane.gutter.Add(per_lane[i][j]);
+        ++accepted;
+        if (lane.gutter.size() >= config_.batch_size) {
+          FlushLaneLocked(lane, lock);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.mutations_enqueued += accepted;
+    stats_.mutations_dropped += dropped;
+    stats_.cross_shard_mutations += cross;
+    return accepted;
+  }
+
+  // Takes the lane's gutter as a batch and moves it toward the worker.
+  // Caller holds `lock` on lane.mu; the queue handoff happens unlocked
+  // (in_flight covers the window). kBlock waits on a full queue — the
+  // backpressure this producer feels; kDropNewest and a closed queue
+  // (shutdown) count the batch dropped.
+  void FlushLaneLocked(Lane& lane, std::unique_lock<std::mutex>& lock) {
+    if (lane.gutter.empty()) {
+      return;
+    }
+    TimedBatch item;
+    uint64_t coalesced = 0;
+    item.batch = lane.gutter.Take(config_.coalesce, &coalesced);
+    item.since_flush.Reset();
+    const size_t mutations = item.batch.size();
+    ++lane.in_flight;
+    lock.unlock();
+    bool pushed = false;
+    double waited = 0.0;
+    if (lane.queue.TryPush(std::move(item))) {
+      pushed = true;
+    } else if (config_.overflow == OverflowPolicy::kBlock) {
+      Timer wait;
+      pushed = lane.queue.Push(std::move(item));
+      waited = wait.Seconds();
+    }
+    lock.lock();
+    if (!pushed && --lane.in_flight == 0) {
+      lane.drained_cv.notify_all();
+    }
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.mutations_coalesced += coalesced;
+    stats_.queue_wait_seconds += waited;
+    if (!pushed) {
+      stats_.mutations_dropped += mutations;
+    }
+  }
+
+  void LaneLoop(Lane& lane) {
+    for (;;) {
+      std::optional<TimedBatch> item =
+          lane.queue.PopFor(std::chrono::duration<double>(NextPollSeconds(lane)));
+      if (item.has_value()) {
+        ApplyLane(lane, std::move(*item));
+      } else if (lane.queue.closed()) {
+        if (lane.queue.Empty()) {
+          break;
+        }
+        continue;
+      } else if (lane.index == 0) {
+        // Idle poll: advance a pending global rewrite. One lane suffices —
+        // the budget bounds each step, not the number of ticking threads.
+        GlobalMaintenanceTick();
+      }
+      if (TryFlushStaleLane(lane)) {
+        continue;
+      }
+    }
+  }
+
+  // The lane worker's next wait, shortened to expire exactly when the
+  // gutter's oldest mutation goes stale (see StreamDriver::NextPollSeconds).
+  double NextPollSeconds(const Lane& lane) const {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    if (lane.gutter.empty()) {
+      return config_.flush_interval_seconds;
+    }
+    const double remaining = config_.flush_interval_seconds - lane.gutter.AgeSeconds();
+    if (remaining <= 0.0) {
+      return lane.in_flight > 0 ? 1e-3 : 1e-4;
+    }
+    return remaining;
+  }
+
+  // Flushes a stale lane gutter and applies it directly — never through
+  // the queue (the worker must not block behind itself), and only when
+  // in_flight == 0 so ordering is preserved. Returns true when a batch
+  // was applied.
+  bool TryFlushStaleLane(Lane& lane) {
+    TimedBatch stale;
+    uint64_t coalesced = 0;
+    {
+      std::unique_lock<std::mutex> lock(lane.mu);
+      if (lane.in_flight != 0 || lane.gutter.empty() ||
+          lane.gutter.AgeSeconds() < config_.flush_interval_seconds) {
+        return false;
+      }
+      stale.batch = lane.gutter.Take(config_.coalesce, &coalesced);
+      stale.since_flush.Reset();
+      ++lane.in_flight;
+    }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.mutations_coalesced += coalesced;
+    }
+    ApplyLane(lane, std::move(stale));
+    return true;
+  }
+
+  // Stage, then promote. Staging (shard WAL append + partition apply) runs
+  // concurrently across lanes; promotion serializes on the engine mutex,
+  // whose acquisition order defines the global apply order.
+  void ApplyLane(Lane& lane, TimedBatch item) {
+    bool journaled = false;
+    if (lane.wal_enabled) {
+      journaled = lane.wal.Append(++lane.wal_seq, item.batch);
+    }
+    lane.partition.ApplyBatch(item.batch);
+    if (config_.background_compaction) {
+      // One bounded increment per staged batch keeps the partition's
+      // rewrites overlapped with its own stream.
+      lane.partition.MaintenanceStep(config_.maintenance_budget_edges);
+    }
+    EngineStats applied;
+    uint64_t rebuilds = 0;
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      if (observer_) {
+        observer_(lane.index, item.batch);
+      }
+      ApplyJournaled(item.batch);
+      applied = engine_->stats();
+      if constexpr (GraphMaintainableEngine<Engine>) {
+        rebuilds = engine_->mutable_graph()->adaptive_rebuilds();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches_applied;
+      ++stats_.shard_batches_staged;
+      stats_.shard_wal_appends += journaled ? 1 : 0;
+      // The graph's rebuild counter is cumulative; mirror, don't sum.
+      stats_.adaptive_rebuilds = rebuilds;
+      stats_.seconds += applied.seconds;
+      stats_.mutation_seconds += applied.mutation_seconds;
+      stats_.edges_processed += applied.edges_processed;
+      stats_.iterations += applied.iterations;
+      stats_.tasks_forked += applied.tasks_forked;
+      stats_.tasks_stolen += applied.tasks_stolen;
+      stats_.inline_runs += applied.inline_runs;
+      stats_.flush_latency_seconds += item.since_flush.Seconds();
+    }
+    std::lock_guard<std::mutex> lock(lane.mu);
+    if (--lane.in_flight == 0) {
+      lane.drained_cv.notify_all();
+    }
+  }
+
+  // Every engine apply funnels through here: assign the next global
+  // sequence number, journal write-ahead, apply, checkpoint on cadence —
+  // StreamDriver's exact protocol, so recovery is interchangeable. Caller
+  // holds engine_mu_.
+  void ApplyJournaled(const MutationBatch& batch) {
+    ++applied_seq_;
+    bool journaled = true;
+    if (checkpointer_ != nullptr) {
+      journaled = checkpointer_->AppendWal(applied_seq_, batch);
+    }
+    engine_->ApplyMutations(batch);
+    if (checkpointer_ != nullptr) {
+      if constexpr (CheckpointableEngine<Engine>) {
+        checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/!journaled);
+      }
+    }
+  }
+
+  // One background-compaction increment on the global graph, in a lane's
+  // idle window (see StreamDriver::MaintenanceTick).
+  void GlobalMaintenanceTick() {
+    if constexpr (GraphMaintainableEngine<Engine>) {
+      if (!config_.background_compaction) {
+        return;
+      }
+      SlackCsr::CompactionStats compaction;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        MutableGraph* graph = engine_->mutable_graph();
+        graph->MaintenanceStep(config_.maintenance_budget_edges);
+        compaction = graph->compaction_stats();
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.maintenance_steps = compaction.maintenance_steps;
+      stats_.background_compactions = compaction.background_compactions;
+      stats_.background_compaction_edges = compaction.background_edges_copied;
+      stats_.forced_sync_compactions = compaction.forced_sync_compactions;
+    }
+  }
+
+  void QuarantineReject(RejectReason reason, const MutationBatch& batch, TenantState* state) {
+    const bool parked = quarantine_->Append(reason, batch);
+    if (parked) {
+      state->CountQuarantined(batch.size());
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (parked) {
+      ++stats_.batches_quarantined;
+      stats_.mutations_quarantined += batch.size();
+    } else {
+      stats_.mutations_dropped += batch.size();
+    }
+    GB_LOG(kWarning) << "admission: rejected batch of " << batch.size() << " mutations ("
+                     << RejectReasonName(reason)
+                     << (parked ? "); quarantined" : "); dead-letter append failed, dropped");
+  }
+
+  Engine* engine_;
+  DriverConfig config_;
+  Checkpointer<Engine>* checkpointer_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::mutex engine_mu_;  // held while the engine is applied or snapshotted;
+                          // also guards applied_seq_ and observer_
+  uint64_t applied_seq_ = 0;
+  ApplyObserver observer_;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+
+  std::unique_ptr<Quarantine> quarantine_;
+
+  std::mutex stop_mu_;  // serializes Stop callers; guards stopped_
+  bool stopped_ = false;
+};
+
+}  // namespace graphbolt
+
+#endif  // SRC_SHARD_SHARDED_DRIVER_H_

@@ -144,7 +144,7 @@ TEST(CompactEngineTest, MatchesRestartAcrossAlgorithms) {
     CompactEngine<CoEM> compact(&g1, algo);
     LigraEngine<CoEM> ligra(&g2, algo);
     compact.InitialCompute();
-    ligra.Compute();
+    ligra.InitialCompute();
     UpdateStream stream(split.held_back, 196);
     for (int round = 0; round < 5; ++round) {
       const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});
@@ -159,7 +159,7 @@ TEST(CompactEngineTest, MatchesRestartAcrossAlgorithms) {
     CompactEngine<Sssp> compact(&g1, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
     LigraEngine<Sssp> ligra(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
     compact.InitialCompute();
-    ligra.Compute();
+    ligra.InitialCompute();
     UpdateStream stream(split.held_back, 197);
     for (int round = 0; round < 5; ++round) {
       const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
@@ -195,7 +195,7 @@ TEST(CompactEngineTest, PrunedHistoryWithCompactBackend) {
   CompactEngine<PageRank> compact(&g1, PageRank{}, {.max_iterations = 10, .history_size = 4});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
   compact.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 202);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.6});

@@ -32,7 +32,7 @@ void StreamAndCompare(Algo algo, const EdgeList& full, int rounds, size_t batch_
   LigraEngine<Algo> ligra(
       &g2, algo, {.max_iterations = max_iterations, .run_to_convergence = run_to_convergence});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   ASSERT_LT(MaxGap(bolt.values(), ligra.values()), tolerance) << "initial";
 
   UpdateStream stream(split.held_back, 41);
@@ -51,7 +51,7 @@ TEST(LabelPropagation, SeedsStayClamped) {
   MutableGraph graph(list);
   LabelPropagation<2> algo(graph.num_vertices(), 0.2, 51);
   LigraEngine<LabelPropagation<2>> engine(&graph, algo);
-  engine.Compute();
+  engine.InitialCompute();
   int seeds_checked = 0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     if (algo.IsSeed(v)) {
@@ -68,7 +68,7 @@ TEST(LabelPropagation, ValuesAreDistributions) {
   MutableGraph graph(list);
   LabelPropagation<3> algo(graph.num_vertices(), 0.15, 53);
   LigraEngine<LabelPropagation<3>> engine(&graph, algo);
-  engine.Compute();
+  engine.InitialCompute();
   for (const auto& value : engine.values()) {
     double total = 0.0;
     for (const double p : value) {
@@ -88,8 +88,8 @@ TEST(LabelPropagation, EnginesAgree) {
   LigraEngine<LabelPropagation<2>> ligra(&g1, algo);
   ResetEngine<LabelPropagation<2>> reset(&g2, algo);
   GraphBoltEngine<LabelPropagation<2>> bolt(&g3, algo);
-  ligra.Compute();
-  reset.Compute();
+  ligra.InitialCompute();
+  reset.InitialCompute();
   bolt.InitialCompute();
   EXPECT_LT(MaxGap(ligra.values(), reset.values()), 1e-8);
   EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-8);
@@ -112,7 +112,7 @@ TEST(CoEM, SeedsClampedToOne) {
   MutableGraph graph(list);
   CoEM algo(graph.num_vertices(), 0.1, 61);
   LigraEngine<CoEM> engine(&graph, algo);
-  engine.Compute();
+  engine.InitialCompute();
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     if (algo.IsSeed(v)) {
       EXPECT_DOUBLE_EQ(engine.values()[v], 1.0);
@@ -130,7 +130,7 @@ TEST(CoEM, EnginesAgree) {
   CoEM algo(list.num_vertices(), 0.08, 63);
   LigraEngine<CoEM> ligra(&g1, algo);
   GraphBoltEngine<CoEM> bolt(&g2, algo);
-  ligra.Compute();
+  ligra.InitialCompute();
   bolt.InitialCompute();
   EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-9);
 }
@@ -148,7 +148,7 @@ TEST(BeliefPropagation, ValuesAreDistributions) {
   EdgeList list = GenerateRmat(300, 2500, {.seed = 66});
   MutableGraph graph(list);
   LigraEngine<BeliefPropagation<3>> engine(&graph, BeliefPropagation<3>{});
-  engine.Compute();
+  engine.InitialCompute();
   for (const auto& value : engine.values()) {
     double total = 0.0;
     for (const double p : value) {
@@ -165,7 +165,7 @@ TEST(BeliefPropagation, EnginesAgree) {
   MutableGraph g2(list);
   LigraEngine<BeliefPropagation<3>> ligra(&g1, BeliefPropagation<3>{});
   GraphBoltEngine<BeliefPropagation<3>> bolt(&g2, BeliefPropagation<3>{});
-  ligra.Compute();
+  ligra.InitialCompute();
   bolt.InitialCompute();
   EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-7);
 }
@@ -190,7 +190,7 @@ TEST(CollaborativeFiltering, EnginesAgree) {
   MutableGraph g2(list);
   LigraEngine<CollaborativeFiltering<4>> ligra(&g1, CollaborativeFiltering<4>{});
   GraphBoltEngine<CollaborativeFiltering<4>> bolt(&g2, CollaborativeFiltering<4>{});
-  ligra.Compute();
+  ligra.InitialCompute();
   bolt.InitialCompute();
   EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-6);
 }
@@ -209,7 +209,7 @@ TEST(CollaborativeFiltering, IsolatedVertexKeepsPrior) {
   MutableGraph graph(std::move(list));
   CollaborativeFiltering<4> algo;
   LigraEngine<CollaborativeFiltering<4>> engine(&graph, algo);
-  engine.Compute();
+  engine.InitialCompute();
   // Vertex 2 has no in-edges: value equals its deterministic prior.
   const auto prior = algo.InitialValue(2, VertexContext{});
   EXPECT_LT(ValueGap(engine.values()[2], prior), 1e-12);

@@ -19,7 +19,7 @@ TEST(PageRankLigra, UniformOnCycle) {
   // On a directed cycle every vertex has one in/out edge, so rank stays 1.
   MutableGraph graph(GenerateCycle(10));
   LigraEngine<PageRank> engine(&graph, PageRank{});
-  engine.Compute();
+  engine.InitialCompute();
   for (const double rank : engine.values()) {
     EXPECT_NEAR(rank, 1.0, 1e-12);
   }
@@ -28,7 +28,7 @@ TEST(PageRankLigra, UniformOnCycle) {
 TEST(PageRankLigra, UniformOnCompleteGraph) {
   MutableGraph graph(GenerateComplete(6));
   LigraEngine<PageRank> engine(&graph, PageRank{});
-  engine.Compute();
+  engine.InitialCompute();
   for (const double rank : engine.values()) {
     EXPECT_NEAR(rank, 1.0, 1e-12);
   }
@@ -42,7 +42,7 @@ TEST(PageRankLigra, SinkAccumulatesRank) {
   list.Add(1, 2);
   MutableGraph graph(std::move(list));
   LigraEngine<PageRank> engine(&graph, PageRank{});
-  engine.Compute();
+  engine.InitialCompute();
   EXPECT_NEAR(engine.values()[0], 0.15, 1e-12);
   EXPECT_NEAR(engine.values()[1], 0.15, 1e-12);
   EXPECT_GT(engine.values()[2], engine.values()[0]);
@@ -58,8 +58,8 @@ TEST(PageRankEngines, AgreeOnRmat) {
   LigraEngine<PageRank> ligra(&g1, PageRank{});
   ResetEngine<PageRank> reset(&g2, PageRank{});
   GraphBoltEngine<PageRank> bolt(&g3, PageRank{});
-  ligra.Compute();
-  reset.Compute();
+  ligra.InitialCompute();
+  reset.InitialCompute();
   bolt.InitialCompute();
   EXPECT_LT(MaxGap(ligra.values(), reset.values()), 1e-8);
   EXPECT_LT(MaxGap(ligra.values(), bolt.values()), 1e-8);
@@ -71,7 +71,7 @@ TEST(PageRankEngines, IterationCountsMatch) {
   MutableGraph g2(list);
   LigraEngine<PageRank> ligra(&g1, PageRank{}, {.max_iterations = 7});
   GraphBoltEngine<PageRank> bolt(&g2, PageRank{}, {.max_iterations = 7});
-  ligra.Compute();
+  ligra.InitialCompute();
   bolt.InitialCompute();
   EXPECT_EQ(ligra.stats().iterations, 7u);
   EXPECT_EQ(bolt.stats().iterations, 7u);
@@ -85,7 +85,7 @@ TEST(PageRankGraphBolt, SingleEdgeAdditionMatchesRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   const MutationBatch batch{EdgeMutation::Add(0, 3)};
   bolt.ApplyMutations(batch);
@@ -100,7 +100,7 @@ TEST(PageRankGraphBolt, SingleEdgeDeletionMatchesRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   const MutationBatch batch{EdgeMutation::Delete(2, 1)};
   bolt.ApplyMutations(batch);
@@ -116,7 +116,7 @@ TEST(PageRankGraphBolt, MixedBatchesOnRmatMatchRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   UpdateStream stream(split.held_back, 25);
   for (int round = 0; round < 8; ++round) {
@@ -135,7 +135,7 @@ TEST(PageRankGraphBolt, ErrorDoesNotAccumulateOverManyBatches) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   UpdateStream stream(split.held_back, 28);
   double last_gap = 0.0;
@@ -159,7 +159,7 @@ TEST(PageRankGraphBolt, ProcessesFewerEdgesThanRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   ResetEngine<PageRank> reset(&g2, PageRank{});
-  reset.Compute();
+  reset.InitialCompute();
 
   UpdateStream stream(split.held_back, 31);
   const MutationBatch batch = stream.NextBatch(g1, {.size = 10, .add_fraction = 0.5});
@@ -197,7 +197,7 @@ TEST(PageRankGraphBolt, MutationAddingNewVertices) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   const MutationBatch batch{EdgeMutation::Add(4, 7), EdgeMutation::Add(7, 0)};
   bolt.ApplyMutations(batch);
@@ -215,7 +215,7 @@ TEST(PageRankGraphBolt, DanglingVertexCreatedByDeletion) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   const MutationBatch batch{EdgeMutation::Delete(3, 2), EdgeMutation::Delete(3, 4)};
   bolt.ApplyMutations(batch);
@@ -251,8 +251,8 @@ TEST(PageRankReset, MatchesLigraUnderStreaming) {
   MutableGraph g2(split.initial);
   ResetEngine<PageRank> reset(&g1, PageRank{});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  reset.Compute();
-  ligra.Compute();
+  reset.InitialCompute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 38);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 50, .add_fraction = 0.6});

@@ -104,7 +104,7 @@ TEST(ConnectedComponents, StreamingMatchesRestart) {
   LigraEngine<ConnectedComponents> ligra(
       &g2, ConnectedComponents{}, {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 152);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
@@ -159,7 +159,7 @@ TEST(WidestPath, StreamingMatchesRestart) {
   LigraEngine<WidestPath> ligra(&g2, WidestPath(0),
                                 {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 155);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
@@ -176,7 +176,7 @@ TEST(PersonalizedPageRank, MassConcentratesNearSources) {
   MutableGraph graph(full);
   PersonalizedPageRank algo({0, 1, 2}, graph.num_vertices());
   LigraEngine<PersonalizedPageRank> engine(&graph, algo);
-  engine.Compute();
+  engine.InitialCompute();
   // Sources hold teleport mass; vertices with no path from sources get 0.
   EXPECT_GT(engine.values()[0], 0.0);
   double total_nonsource = 0.0;
@@ -198,7 +198,7 @@ TEST(PersonalizedPageRank, StreamingMatchesRestart) {
   GraphBoltEngine<PersonalizedPageRank> bolt(&g1, algo);
   LigraEngine<PersonalizedPageRank> ligra(&g2, algo);
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 159);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});
@@ -259,7 +259,7 @@ TEST(WeightUpdates, RefinementMatchesRestartForWeightedAlgorithms) {
   GraphBoltEngine<CoEM> bolt(&g1, algo);
   LigraEngine<CoEM> ligra(&g2, algo);
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
 
   Rng rng(173);
   for (int round = 0; round < 5; ++round) {
@@ -304,9 +304,9 @@ TEST(DirectionOptimization, DenseSwitchPreservesResults) {
   ResetEngine<PageRank> dense(&g1, PageRank{}, {.dense_threshold = 0.01});
   ResetEngine<PageRank> sparse(&g2, PageRank{}, {.dense_threshold = 2.0});
   LigraEngine<PageRank> reference(&g3, PageRank{});
-  dense.Compute();
-  sparse.Compute();
-  reference.Compute();
+  dense.InitialCompute();
+  sparse.InitialCompute();
+  reference.InitialCompute();
   EXPECT_LT(MaxGap(dense.values(), reference.values()), 1e-9);
   EXPECT_LT(MaxGap(sparse.values(), reference.values()), 1e-9);
 }
@@ -318,8 +318,8 @@ TEST(DirectionOptimization, DenseSwitchSurvivesMutations) {
   MutableGraph g2(split.initial);
   ResetEngine<PageRank> dense(&g1, PageRank{}, {.dense_threshold = 0.05});
   LigraEngine<PageRank> reference(&g2, PageRank{});
-  dense.Compute();
-  reference.Compute();
+  dense.InitialCompute();
+  reference.InitialCompute();
   UpdateStream stream(split.held_back, 167);
   for (int round = 0; round < 4; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});

@@ -69,7 +69,7 @@ TEST_P(FuzzSweep, PageRankLongAdversarialStream) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   Rng rng(seed * 31 + 7);
   for (int round = 0; round < 12; ++round) {
     const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(40));
@@ -90,7 +90,7 @@ TEST_P(FuzzSweep, CoEMWithPrunedHistory) {
   GraphBoltEngine<CoEM> bolt(&g1, algo, {.max_iterations = 10, .history_size = 4});
   LigraEngine<CoEM> ligra(&g2, algo, {.max_iterations = 10});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   Rng rng(seed * 17 + 3);
   for (int round = 0; round < 10; ++round) {
     const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(25));
@@ -109,7 +109,7 @@ TEST_P(FuzzSweep, SsspConvergenceStream) {
   GraphBoltEngine<Sssp> bolt(&g1, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
   LigraEngine<Sssp> ligra(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   Rng rng(seed * 13 + 11);
   for (int round = 0; round < 10; ++round) {
     const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(25));
@@ -131,7 +131,7 @@ TEST_P(FuzzSweep, LabelPropagationConvergenceMode) {
   LigraEngine<LabelPropagation<3>> ligra(&g2, algo,
                                          {.max_iterations = 50, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   Rng rng(seed * 7 + 29);
   for (int round = 0; round < 8; ++round) {
     const MutationBatch batch = AdversarialBatch(g1, rng, 1 + rng.NextBounded(20));

@@ -36,7 +36,7 @@ TEST(KickStarterEngineSssp, StreamingMatchesReference) {
   KickStarterEngine<KsSsspTraits> ks(&g1, KsSsspTraits(0));
   LigraEngine<Sssp> reference(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
   ks.InitialCompute();
-  reference.Compute();
+  reference.InitialCompute();
   UpdateStream stream(split.held_back, 222);
   for (int round = 0; round < 6; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.5});
@@ -68,7 +68,7 @@ TEST(KickStarterEngineComponents, StreamingMatchesReference) {
   LigraEngine<ConnectedComponents> reference(
       &g2, ConnectedComponents{}, {.max_iterations = 256, .run_to_convergence = true});
   ks.InitialCompute();
-  reference.Compute();
+  reference.InitialCompute();
   UpdateStream stream(split.held_back, 225);
   for (int round = 0; round < 6; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
@@ -109,7 +109,7 @@ TEST(KickStarterEngineWidest, StreamingMatchesReference) {
   LigraEngine<WidestPath> reference(&g2, WidestPath(0),
                                     {.max_iterations = 256, .run_to_convergence = true});
   ks.InitialCompute();
-  reference.Compute();
+  reference.InitialCompute();
   UpdateStream stream(split.held_back, 228);
   for (int round = 0; round < 6; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});
@@ -158,7 +158,7 @@ TEST(MultiSourceReach, StreamingMatchesRestart) {
   LigraEngine<MultiSourceReach> ligra(&g2, algo,
                                       {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 231);
   for (int round = 0; round < 6; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.5});

@@ -74,7 +74,7 @@ TEST(DdPageRank, MatchesGraphBoltInitially) {
   dd.InitialCompute();
   MutableGraph graph(list);
   LigraEngine<PageRank> reference(&graph, PageRank{});
-  reference.Compute();
+  reference.InitialCompute();
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     ASSERT_NEAR(dd.ranks().at(v), reference.values()[v], 1e-9) << "vertex " << v;
   }
@@ -88,7 +88,7 @@ TEST(DdPageRank, IncrementalMatchesRestart) {
 
   MutableGraph graph(split.initial);
   LigraEngine<PageRank> reference(&graph, PageRank{});
-  reference.Compute();
+  reference.InitialCompute();
 
   UpdateStream stream(split.held_back, 143);
   for (int round = 0; round < 5; ++round) {

@@ -39,7 +39,7 @@ TEST_P(PagerankSweep, RefinementEqualsRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, seed + 2);
   for (int round = 0; round < 3; ++round) {
     const MutationBatch batch =
@@ -69,7 +69,7 @@ TEST_P(HistorySweep, HybridExecutionStaysExact) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{}, {.max_iterations = 10, .history_size = history});
   LigraEngine<PageRank> ligra(&g2, PageRank{}, {.max_iterations = 10});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 212);
   for (int round = 0; round < 3; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.6});
@@ -112,7 +112,7 @@ TEST_P(TopologySweep, PagerankRefinementEqualsRestart) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   Rng rng(300);
   for (int round = 0; round < 4; ++round) {
     MutationBatch batch;
@@ -176,7 +176,7 @@ TEST_P(SsspSweep, RefinementEqualsRestart) {
   LigraEngine<Sssp> ligra(&g2, Sssp(source),
                           {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 232);
   for (int round = 0; round < 3; ++round) {
     const MutationBatch batch =
@@ -207,7 +207,7 @@ TEST_P(LabelSweep, RefinementEqualsRestart) {
   GraphBoltEngine<LabelPropagation<2>> bolt(&g1, algo);
   LigraEngine<LabelPropagation<2>> ligra(&g2, algo);
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 243);
   for (int round = 0; round < 3; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 0.6});

@@ -27,7 +27,7 @@ void StreamWithHistory(Algo algo, uint32_t history, const EdgeList& full, int ro
   GraphBoltEngine<Algo> bolt(&g1, algo, {.max_iterations = 10, .history_size = history});
   LigraEngine<Algo> ligra(&g2, algo, {.max_iterations = 10});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   EXPECT_EQ(bolt.store().tracked_levels(), std::min<uint32_t>(history, 10));
   EXPECT_EQ(bolt.store().total_levels(), 10u);
 
@@ -73,7 +73,7 @@ TEST(HybridExecution, ContinuationDoesLessWorkThanRestartForSmallBatches) {
   GraphBoltEngine<PageRank> pruned(&g1, PageRank{}, {.max_iterations = 10, .history_size = 5});
   LigraEngine<PageRank> ligra(&g2, PageRank{}, {.max_iterations = 10});
   pruned.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   const MutationBatch batch{EdgeMutation::Add(1, 2), EdgeMutation::Add(3, 4)};
   pruned.ApplyMutations(batch);
   ligra.ApplyMutations(batch);
@@ -92,7 +92,7 @@ TEST(HybridExecution, SsspConvergenceWithTruncatedHistory) {
       &g1, Sssp(0), {.max_iterations = 128, .run_to_convergence = true, .history_size = 4});
   LigraEngine<Sssp> ligra(&g2, Sssp(0), {.max_iterations = 128, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   EXPECT_LE(bolt.store().tracked_levels(), 4u);
 
   UpdateStream stream(split.held_back, 113);
@@ -136,7 +136,7 @@ TEST(HybridExecution, RepeatedBatchesWithPrunedHistoryStayExact) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{}, {.max_iterations = 10, .history_size = 3});
   LigraEngine<PageRank> ligra(&g2, PageRank{}, {.max_iterations = 10});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 116);
   for (int round = 0; round < 15; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 15, .add_fraction = 0.55});
@@ -157,7 +157,7 @@ TEST(MonotonicFastPath, AdditionOnlyBatchesMatchRestart) {
   GraphBoltEngine<Sssp> bolt(&g1, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
   LigraEngine<Sssp> ligra(&g2, Sssp(0), {.max_iterations = 256, .run_to_convergence = true});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, 122);
   for (int round = 0; round < 5; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 30, .add_fraction = 1.0});
@@ -201,7 +201,7 @@ TEST(ResetFallback, LargeBatchTriggersRecomputeAndStaysCorrect) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{}, {.reset_fallback_fraction = 0.01});
   LigraEngine<PageRank> ligra(&g2, PageRank{});
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
 
   UpdateStream stream(split.held_back, 127);
   // Large batch (> 1% of edges): recompute path.

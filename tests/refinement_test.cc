@@ -27,12 +27,12 @@ TEST(Motivation, NaiveReuseProducesWrongResults) {
 
   LabelPropagation<2> algo(full.num_vertices(), 0.1, 82);
   LigraEngine<LabelPropagation<2>> exact(&g_exact, algo);
-  exact.Compute();
+  exact.InitialCompute();
 
   // Naive reuse: run 10 iterations from the PRE-mutation converged values
   // instead of from initial values (S*(GT, R_G) in Figure 1).
   LigraEngine<LabelPropagation<2>> naive(&g_naive, algo);
-  naive.Compute();
+  naive.InitialCompute();
 
   UpdateStream stream(split.held_back, 83);
   const MutationBatch batch = stream.NextBatch(g_exact, {.size = 100, .add_fraction = 0.6});
@@ -74,7 +74,7 @@ TEST(Motivation, GraphBoltMatchesExactWhereNaiveDiverges) {
   LabelPropagation<2> algo(full.num_vertices(), 0.1, 82);
   LigraEngine<LabelPropagation<2>> exact(&g_exact, algo);
   GraphBoltEngine<LabelPropagation<2>> bolt(&g_bolt, algo);
-  exact.Compute();
+  exact.InitialCompute();
   bolt.InitialCompute();
 
   UpdateStream stream(split.held_back, 83);
@@ -188,7 +188,7 @@ TEST(Refinement, DeleteOnlyBatch) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   // Delete the first 30 edges of the export.
   MutationBatch batch;
@@ -209,7 +209,7 @@ TEST(Refinement, AddOnlyBatch) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   MutationBatch batch;
   for (size_t i = 0; i < 50 && i < split.held_back.size(); ++i) {
@@ -229,7 +229,7 @@ TEST(Refinement, AddAndDeleteSameVertexNeighborhood) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   const MutationBatch batch{
       EdgeMutation::Delete(0, 1), EdgeMutation::Delete(0, 2), EdgeMutation::Add(1, 2),
@@ -250,7 +250,7 @@ TEST(Refinement, MutationsOnEmptyishGraph) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   MutationBatch batch;
   for (VertexId v = 0; v < 9; ++v) {
@@ -272,7 +272,7 @@ TEST(Refinement, LargeBatchStillExact) {
   GraphBoltEngine<PageRank> bolt(&g1, PageRank{});
   bolt.InitialCompute();
   LigraEngine<PageRank> ligra(&g2, PageRank{});
-  ligra.Compute();
+  ligra.InitialCompute();
 
   UpdateStream stream(split.held_back, 92);
   const MutationBatch batch = stream.NextBatch(g1, {.size = 1000, .add_fraction = 0.6});

@@ -27,7 +27,7 @@ void CheckStreamEquivalence(Algo algo, double tolerance, uint64_t seed) {
   GraphBoltEngine<Algo> bolt(&g1, algo);
   LigraEngine<Algo> ligra(&g2, algo);
   bolt.InitialCompute();
-  ligra.Compute();
+  ligra.InitialCompute();
   UpdateStream stream(split.held_back, seed + 2);
   for (int round = 0; round < 3; ++round) {
     const MutationBatch batch = stream.NextBatch(g1, {.size = 25, .add_fraction = 0.6});

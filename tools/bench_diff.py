@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Compare a candidate BENCH_*.json against a committed baseline trajectory.
+
+The bench binaries emit ``{"bench": <name>, "rows": [{...}, ...]}`` (see
+bench/harness.h BenchJson). This tool matches candidate rows to baseline
+rows by their identity fields (every string-valued key, plus any integer
+sweep parameters named in --id-keys) and flags metric regressions beyond a
+relative threshold.
+
+Metric direction is inferred from the key name:
+  lower-is-better:  *_ms, *_seconds, *seconds*, *_latency*
+  higher-is-better: *rate*, *speedup*, *throughput*, *per_sec*
+Other numeric keys are reported but never fail the run.
+
+Exit codes:
+  0   no regression beyond --threshold
+  1   at least one regression (or malformed input)
+  77  candidate file absent — the ctest SKIP_RETURN_CODE, so machines that
+      have not produced fresh bench JSON skip instead of fail
+
+Usage:
+  bench_diff.py --baseline BENCH_x.json --candidate BENCH_x.new.json \
+      [--threshold 0.10] [--id-keys batch_size,shards]
+  bench_diff.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+LOWER_BETTER_MARKERS = ("_ms", "_seconds", "seconds", "_latency")
+HIGHER_BETTER_MARKERS = ("rate", "speedup", "throughput", "per_sec")
+
+
+def metric_direction(key):
+    """Returns 'lower', 'higher', or None (informational)."""
+    k = key.lower()
+    if any(k.endswith(m) or m in k for m in LOWER_BETTER_MARKERS):
+        return "lower"
+    if any(m in k for m in HIGHER_BETTER_MARKERS):
+        return "higher"
+    return None
+
+
+def row_identity(row, id_keys):
+    ident = tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+    extra = tuple((k, row[k]) for k in id_keys if k in row)
+    return ident + extra
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: no 'rows' array")
+    return doc.get("bench", "?"), rows
+
+
+def compare(baseline_rows, candidate_rows, id_keys, threshold):
+    """Returns (regressions, improvements, notes) as lists of messages."""
+    baseline_by_id = {}
+    for row in baseline_rows:
+        baseline_by_id[row_identity(row, id_keys)] = row
+    regressions, improvements, notes = [], [], []
+    matched = 0
+    for row in candidate_rows:
+        ident = row_identity(row, id_keys)
+        base = baseline_by_id.get(ident)
+        if base is None:
+            notes.append(f"new row (no baseline): {dict(ident) or row}")
+            continue
+        matched += 1
+        label = ", ".join(f"{k}={v}" for k, v in ident) or "row"
+        for key, value in row.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            ref = base.get(key)
+            if not isinstance(ref, (int, float)) or isinstance(ref, bool):
+                continue
+            direction = metric_direction(key)
+            if direction is None or ref == 0:
+                continue
+            change = (value - ref) / abs(ref)
+            worse = change > threshold if direction == "lower" else change < -threshold
+            better = change < -threshold if direction == "lower" else change > threshold
+            msg = (f"[{label}] {key}: baseline {ref:g} -> candidate {value:g} "
+                   f"({change:+.1%}, {direction} is better)")
+            if worse:
+                regressions.append(msg)
+            elif better:
+                improvements.append(msg)
+    if matched == 0:
+        notes.append("no candidate row matched a baseline row; check --id-keys")
+    return regressions, improvements, notes
+
+
+def self_test():
+    base = [{"graph": "g", "batch_size": 64, "ingest_rate": 100.0, "drain_seconds": 2.0}]
+    # Unchanged: pass.
+    r, _, _ = compare(base, base, ["batch_size"], 0.10)
+    assert not r, r
+    # Throughput drop beyond threshold: regression.
+    cand = [{"graph": "g", "batch_size": 64, "ingest_rate": 80.0, "drain_seconds": 2.0}]
+    r, _, _ = compare(base, cand, ["batch_size"], 0.10)
+    assert len(r) == 1, r
+    # Latency drop: improvement, not regression.
+    cand = [{"graph": "g", "batch_size": 64, "ingest_rate": 100.0, "drain_seconds": 1.0}]
+    r, i, _ = compare(base, cand, ["batch_size"], 0.10)
+    assert not r and len(i) == 1, (r, i)
+    # Within threshold: quiet.
+    cand = [{"graph": "g", "batch_size": 64, "ingest_rate": 95.0, "drain_seconds": 2.1}]
+    r, i, _ = compare(base, cand, ["batch_size"], 0.10)
+    assert not r and not i, (r, i)
+    # Different sweep point: unmatched, never compared.
+    cand = [{"graph": "g", "batch_size": 256, "ingest_rate": 1.0, "drain_seconds": 99.0}]
+    r, _, n = compare(base, cand, ["batch_size"], 0.10)
+    assert not r and n, (r, n)
+    # Direction inference.
+    assert metric_direction("avg_flush_latency_ms") == "lower"
+    assert metric_direction("end_to_end_rate") == "higher"
+    assert metric_direction("speedup") == "higher"
+    assert metric_direction("queue_wait_seconds") == "lower"
+    assert metric_direction("batches") is None
+    print("bench_diff self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", help="committed trajectory JSON")
+    parser.add_argument("--candidate", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression tolerance (default 0.10)")
+    parser.add_argument("--id-keys", default="batch_size,shards,producers",
+                        help="comma-separated numeric keys that identify a row")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run internal checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required (or --self-test)")
+    if not os.path.exists(args.candidate):
+        print(f"bench_diff: candidate {args.candidate} absent; skipping (exit 77)")
+        return 77
+    if not os.path.exists(args.baseline):
+        print(f"bench_diff: baseline {args.baseline} missing — commit the trajectory first")
+        return 1
+    id_keys = [k for k in args.id_keys.split(",") if k]
+    try:
+        base_name, baseline_rows = load_rows(args.baseline)
+        cand_name, candidate_rows = load_rows(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}")
+        return 1
+    if base_name != cand_name:
+        print(f"bench_diff: comparing different benches ({base_name} vs {cand_name})")
+        return 1
+    regressions, improvements, notes = compare(baseline_rows, candidate_rows,
+                                               id_keys, args.threshold)
+    for msg in notes:
+        print(f"note: {msg}")
+    for msg in improvements:
+        print(f"improvement: {msg}")
+    for msg in regressions:
+        print(f"REGRESSION: {msg}")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} on bench '{base_name}'")
+        return 1
+    print(f"bench_diff: bench '{base_name}' within {args.threshold:.0%} of baseline "
+          f"({len(candidate_rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,18 +6,26 @@
 //   graphbolt_cli --rmat-vertices 100000 --rmat-edges 1000000 --algo sssp
 //                 --engine graphbolt --source 0 --output dists.txt
 //
-// With --checkpoint-dir the stream runs through a checkpointing StreamDriver
+// Driver configuration goes through DriverConfig (src/shard/driver_config.h):
+// one validated surface registered by DriverConfig::RegisterFlags, read back
+// by FromCli, with GRAPHBOLT_* environment overrides applied on top by
+// FromEnv. --shards N with N > 1 runs the stream through the sharded
+// multi-tenant driver (src/shard/sharded_driver.h); N = 1 (the default)
+// uses the single-lane StreamDriver.
+//
+// With --checkpoint-dir the stream journals through the global checkpointer
 // (WAL + cadence checkpoints); --verify-recovery then cold-recovers into a
 // fresh engine afterwards and exits nonzero unless the recovered values match
 // the live ones — bitwise with one worker thread, within a relative 1e-9
 // with more (parallel refine applies floating-point scatter contributions
-// in schedule order; see docs/INTERNALS.md §10).
+// in schedule order; see docs/INTERNALS.md §10). The sharded driver shares
+// the protocol, so recovery of a sharded run goes through the same cold
+// unsharded path.
 //
 // The sentinel layer (docs/INTERNALS.md §11) is armed by --quarantine-dir
 // (admission control + dead-letter WAL; tune with --max-batch-edges, demo
-// with --poison-batches), --watchdog-ms (stall watchdog; auto-recovery when
-// a checkpointer is attached), and the extended --overflow family
-// (shed-oldest | degrade).
+// with --poison-batches), --watchdog-ms (stall watchdog; unsharded only),
+// and the --overflow family (shed-oldest | degrade are unsharded-only).
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -38,18 +46,12 @@ struct CliConfig {
   double tolerance;
   uint32_t history;
   size_t batches;
-  size_t batch_size;
   double add_fraction;
   VertexId source;
   std::string output;
-  std::string checkpoint_dir;
-  uint64_t checkpoint_every;
-  std::string overflow;
   bool verify_recovery;
-  std::string quarantine_dir;
-  size_t max_batch_edges;
-  uint64_t watchdog_ms;
   size_t poison_batches;
+  DriverConfig driver;  // the consolidated driver surface
 };
 
 // Writes one value per line ("vertex value...").
@@ -103,45 +105,70 @@ bool ValueClose(const std::array<T, N>& a, const std::array<T, N>& b, double rel
   return true;
 }
 
+// Cold recovery + diff against the live engine; shared by the sharded and
+// unsharded streaming paths (both journal through the same global
+// checkpointer protocol, so the unsharded recovery path restores either).
+template <typename Engine, typename MakeEngine>
+int VerifyRecovery(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
+                   const DriverConfig& driver_config) {
+  Timer recovery;
+  MutableGraph cold_graph;
+  Engine cold = make_engine(&cold_graph);
+  Checkpointer<Engine> restorer(&cold, &cold_graph,
+                                {.directory = driver_config.checkpoint_dir,
+                                 .cadence_batches = driver_config.checkpoint_every});
+  StreamDriver<Engine> cold_driver(&cold, {.checkpointer = &restorer});
+  if (!cold_driver.Recover()) {
+    std::printf("recovery FAILED: no valid checkpoint in %s\n",
+                driver_config.checkpoint_dir.c_str());
+    return 1;
+  }
+  cold_driver.Stop();
+  if (cold.values().size() != engine.values().size()) {
+    std::printf("recovery FAILED: %zu recovered values vs %zu live\n", cold.values().size(),
+                engine.values().size());
+    return 1;
+  }
+  const bool serial = ThreadPool::Instance().num_threads() == 1;
+  const double rel = serial ? 0.0 : 1e-9;
+  size_t mismatches = 0;
+  for (size_t v = 0; v < cold.values().size(); ++v) {
+    if (!ValueClose(cold.values()[v], engine.values()[v], rel)) {
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0 || cold_graph.num_edges() != graph.num_edges()) {
+    std::printf("recovery FAILED: %zu value mismatches (rel tol %.1e), %llu vs %llu edges\n",
+                mismatches, rel, static_cast<unsigned long long>(cold_graph.num_edges()),
+                static_cast<unsigned long long>(graph.num_edges()));
+    return 1;
+  }
+  std::printf("recovery verified: %zu values %s (%.2f ms)\n", cold.values().size(),
+              serial ? "bitwise identical" : "within 1e-9 relative (parallel refine)",
+              recovery.Seconds() * 1e3);
+  return 0;
+}
+
+void PrintDurability(const EngineStats& stats, const DriverConfig& driver) {
+  std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
+              static_cast<unsigned long long>(stats.checkpoints_written),
+              stats.checkpoint_seconds * 1e3, static_cast<unsigned long long>(stats.wal_appends),
+              static_cast<unsigned long long>(stats.mutations_shed_to_wal),
+              driver.checkpoint_dir.c_str());
+}
+
 // Streams through a StreamDriver with the durability and/or sentinel layers
-// armed. --checkpoint-dir enables WAL + checkpoints; --quarantine-dir arms
-// admission control (rejects park in the dead-letter WAL); --watchdog-ms
-// starts the stall watchdog (auto-recovery needs the checkpointer too).
-// With --verify-recovery, rebuilds the engine cold from disk and diffs it
-// against the live one (bitwise when refine is serial, ulp-scale tolerance
-// when parallel — see above). `make_engine` constructs an
-// identically-configured engine on a new graph.
+// armed (the --shards 1 path). `make_engine` constructs an identically-
+// configured engine on a new graph for --verify-recovery.
 template <typename Engine, typename MakeEngine>
 int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
                  StreamSplit& split, const CliConfig& config) {
   using Driver = StreamDriver<Engine>;
-  typename Driver::OverflowPolicy overflow = Driver::OverflowPolicy::kBlock;
-  if (config.overflow == "drop") {
-    overflow = Driver::OverflowPolicy::kDropNewest;
-  } else if (config.overflow == "shed") {
-    overflow = Driver::OverflowPolicy::kShedToWal;
-  } else if (config.overflow == "shed-oldest") {
-    overflow = Driver::OverflowPolicy::kShedOldest;
-  } else if (config.overflow == "degrade") {
-    overflow = Driver::OverflowPolicy::kDegrade;
-  } else if (config.overflow != "block") {
-    std::printf("unknown overflow policy: %s (block | drop | shed | shed-oldest | degrade)\n",
-                config.overflow.c_str());
-    return 1;
-  }
-  const bool durable = !config.checkpoint_dir.empty();
-  if (overflow == Driver::OverflowPolicy::kShedToWal && !durable) {
-    std::printf("--overflow shed requires --checkpoint-dir (shed batches park in the WAL)\n");
-    return 1;
-  }
-  if (config.verify_recovery && !durable) {
-    std::printf("--verify-recovery requires --checkpoint-dir\n");
-    return 1;
-  }
-  const bool sentinel =
-      !config.quarantine_dir.empty() || config.watchdog_ms > 0 ||
-      overflow == Driver::OverflowPolicy::kShedOldest ||
-      overflow == Driver::OverflowPolicy::kDegrade;
+  const bool durable = !config.driver.checkpoint_dir.empty();
+  const bool sentinel = !config.driver.quarantine_dir.empty() ||
+                        config.driver.watchdog_stall_seconds > 0.0 ||
+                        config.driver.overflow == OverflowPolicy::kShedOldest ||
+                        config.driver.overflow == OverflowPolicy::kDegrade;
 
   Timer total;
   engine.InitialCompute();
@@ -152,25 +179,19 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
 
   std::optional<Checkpointer<Engine>> checkpointer;
   if (durable) {
-    checkpointer.emplace(
-        &engine, &graph,
-        typename Checkpointer<Engine>::Options{.directory = config.checkpoint_dir,
-                                               .cadence_batches = config.checkpoint_every});
+    checkpointer.emplace(&engine, &graph,
+                         typename Checkpointer<Engine>::Options{
+                             .directory = config.driver.checkpoint_dir,
+                             .cadence_batches = config.driver.checkpoint_every});
   }
   {
-    typename Driver::Options driver_options;
-    driver_options.batch_size = config.batch_size;
+    typename Driver::Options driver_options =
+        config.driver.template ToStreamOptions<Engine>(durable ? &*checkpointer : nullptr);
+    // The loop below drives flushes explicitly (IngestBatch + Flush +
+    // PrepQuery per batch), so the staleness flush and coalescing would
+    // only blur the per-batch numbers.
     driver_options.flush_interval_seconds = 3600.0;
-    driver_options.overflow = overflow;
     driver_options.coalesce = false;
-    driver_options.checkpointer = durable ? &*checkpointer : nullptr;
-    driver_options.quarantine_dir = config.quarantine_dir;
-    if (config.max_batch_edges > 0) {
-      driver_options.admission.max_batch_mutations = config.max_batch_edges;
-    }
-    if (config.watchdog_ms > 0) {
-      driver_options.watchdog_stall_seconds = static_cast<double>(config.watchdog_ms) * 1e-3;
-    }
     Driver driver(&engine, driver_options);
     if (durable) {
       driver.CheckpointNow();  // baseline: recoverable before the first batch
@@ -181,7 +202,7 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
       // The barrier below keeps `graph` quiescent here, so batch generation
       // (which inspects it for deletable edges) sees applied state.
       const MutationBatch batch = stream.NextBatch(
-          graph, {.size = config.batch_size, .add_fraction = config.add_fraction});
+          graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
       const size_t accepted = driver.IngestBatch(batch);
       driver.Flush();
       driver.PrepQuery();
@@ -191,7 +212,7 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
     }
     // Demo of the poison path: deliberately malformed batches (NaN weights)
     // that admission control must bounce into the dead-letter WAL.
-    if (config.poison_batches > 0 && !config.quarantine_dir.empty()) {
+    if (config.poison_batches > 0 && !config.driver.quarantine_dir.empty()) {
       const float nan = std::numeric_limits<float>::quiet_NaN();
       for (size_t p = 0; p < config.poison_batches; ++p) {
         MutationBatch poison = {EdgeMutation::Add(1, static_cast<VertexId>(2 + p), nan)};
@@ -204,12 +225,7 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
     driver.Stop();
     const EngineStats stats = driver.stats();
     if (durable) {
-      std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
-                  static_cast<unsigned long long>(stats.checkpoints_written),
-                  stats.checkpoint_seconds * 1e3,
-                  static_cast<unsigned long long>(stats.wal_appends),
-                  static_cast<unsigned long long>(stats.mutations_shed_to_wal),
-                  config.checkpoint_dir.c_str());
+      PrintDurability(stats, config.driver);
     }
     if (sentinel) {
       std::printf(
@@ -231,40 +247,84 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
               static_cast<unsigned long long>(graph.num_edges()));
 
   if (config.verify_recovery) {
-    Timer recovery;
-    MutableGraph cold_graph;
-    Engine cold = make_engine(&cold_graph);
-    Checkpointer<Engine> restorer(
-        &cold, &cold_graph,
-        {.directory = config.checkpoint_dir, .cadence_batches = config.checkpoint_every});
-    StreamDriver<Engine> cold_driver(&cold, {.checkpointer = &restorer});
-    if (!cold_driver.Recover()) {
-      std::printf("recovery FAILED: no valid checkpoint in %s\n", config.checkpoint_dir.c_str());
-      return 1;
+    return VerifyRecovery(engine, make_engine, graph, config.driver);
+  }
+  return 0;
+}
+
+// Streams through the sharded multi-tenant driver (--shards N > 1): one
+// session carries the stream, lanes stage + promote, and the two-phase
+// barrier closes each batch.
+template <typename Engine, typename MakeEngine>
+int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
+                        StreamSplit& split, const CliConfig& config) {
+  const bool durable = !config.driver.checkpoint_dir.empty();
+
+  Timer total;
+  engine.InitialCompute();
+  std::printf("initial compute: %.2f ms, %llu edge computations, %u iterations\n",
+              engine.stats().seconds * 1e3,
+              static_cast<unsigned long long>(engine.stats().edges_processed),
+              engine.stats().iterations);
+
+  std::optional<Checkpointer<Engine>> checkpointer;
+  if (durable) {
+    checkpointer.emplace(&engine, &graph,
+                         typename Checkpointer<Engine>::Options{
+                             .directory = config.driver.checkpoint_dir,
+                             .cadence_batches = config.driver.checkpoint_every});
+  }
+  {
+    DriverConfig driver_config = config.driver;
+    driver_config.flush_interval_seconds = 3600.0;  // explicit driving, as above
+    driver_config.coalesce = false;
+    ShardedDriver<Engine> driver(&engine, driver_config,
+                                 durable ? &*checkpointer : nullptr);
+    if (durable) {
+      driver.CheckpointNow();
     }
-    cold_driver.Stop();
-    if (cold.values().size() != engine.values().size()) {
-      std::printf("recovery FAILED: %zu recovered values vs %zu live\n", cold.values().size(),
-                  engine.values().size());
-      return 1;
+    auto session = driver.OpenSession("cli");
+
+    UpdateStream stream(split.held_back, 99);
+    for (size_t b = 0; b < config.batches; ++b) {
+      const MutationBatch batch = stream.NextBatch(
+          graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
+      const size_t accepted = session.IngestBatch(batch);
+      driver.Flush();
+      driver.PrepQuery();
+      std::printf("batch %zu: %zu/%zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
+                  accepted, batch.size(), engine.stats().seconds * 1e3,
+                  engine.stats().mutation_seconds * 1e3);
     }
-    const bool serial = ThreadPool::Instance().num_threads() == 1;
-    const double rel = serial ? 0.0 : 1e-9;
-    size_t mismatches = 0;
-    for (size_t v = 0; v < cold.values().size(); ++v) {
-      if (!ValueClose(cold.values()[v], engine.values()[v], rel)) {
-        ++mismatches;
+    if (config.poison_batches > 0 && !config.driver.quarantine_dir.empty()) {
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      for (size_t p = 0; p < config.poison_batches; ++p) {
+        MutationBatch poison = {EdgeMutation::Add(1, static_cast<VertexId>(2 + p), nan)};
+        session.IngestBatch(poison);
       }
+      std::printf("poison: %zu bad batches offered, %llu parked in %s\n", config.poison_batches,
+                  static_cast<unsigned long long>(driver.quarantined_batches()),
+                  driver.quarantine()->path().c_str());
     }
-    if (mismatches > 0 || cold_graph.num_edges() != graph.num_edges()) {
-      std::printf("recovery FAILED: %zu value mismatches (rel tol %.1e), %llu vs %llu edges\n",
-                  mismatches, rel, static_cast<unsigned long long>(cold_graph.num_edges()),
-                  static_cast<unsigned long long>(graph.num_edges()));
-      return 1;
+    driver.Stop();
+    const EngineStats stats = driver.stats();
+    std::printf("shards: %llu lanes, %llu batches staged, %llu shard-WAL appends, "
+                "%llu cross-shard mutations, %llu sessions\n",
+                static_cast<unsigned long long>(stats.shard_lanes),
+                static_cast<unsigned long long>(stats.shard_batches_staged),
+                static_cast<unsigned long long>(stats.shard_wal_appends),
+                static_cast<unsigned long long>(stats.cross_shard_mutations),
+                static_cast<unsigned long long>(stats.sessions_opened));
+    if (durable) {
+      PrintDurability(stats, config.driver);
     }
-    std::printf("recovery verified: %zu values %s (%.2f ms)\n", cold.values().size(),
-                serial ? "bitwise identical" : "within 1e-9 relative (parallel refine)",
-                recovery.Seconds() * 1e3);
+  }
+  std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",
+              total.Seconds() * 1e3, graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  if (config.verify_recovery) {
+    return VerifyRecovery(engine, make_engine, graph, config.driver);
   }
   return 0;
 }
@@ -272,8 +332,11 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
 template <typename Engine, typename MakeEngine>
 int Stream(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph, StreamSplit& split,
            const CliConfig& config) {
-  if (!config.checkpoint_dir.empty() || !config.quarantine_dir.empty() ||
-      config.watchdog_ms > 0) {
+  if (config.driver.shards > 1) {
+    return ShardedStreamDriven(engine, make_engine, graph, split, config);
+  }
+  if (!config.driver.checkpoint_dir.empty() || !config.driver.quarantine_dir.empty() ||
+      config.driver.watchdog_stall_seconds > 0.0) {
     return StreamDriven(engine, make_engine, graph, split, config);
   }
   Timer total;
@@ -285,8 +348,8 @@ int Stream(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph, Stream
 
   UpdateStream stream(split.held_back, 99);
   for (size_t b = 0; b < config.batches; ++b) {
-    const MutationBatch batch =
-        stream.NextBatch(graph, {.size = config.batch_size, .add_fraction = config.add_fraction});
+    const MutationBatch batch = stream.NextBatch(
+        graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
     engine.ApplyMutations(batch);
     std::printf("batch %zu: %zu mutations, refine %.2f ms, structure %.2f ms, %llu edge comps\n",
                 b + 1, batch.size(), engine.stats().seconds * 1e3,
@@ -364,27 +427,34 @@ int Main(int argc, char** argv) {
   args.AddDouble("tolerance", 1e-6, "selective-scheduling change tolerance");
   args.AddInt("history", 1 << 30, "dependency history size (horizontal pruning)");
   args.AddInt("batches", 5, "mutation batches to stream");
-  args.AddInt("batch-size", 1000, "mutations per batch");
   args.AddDouble("add-fraction", 0.7, "fraction of mutations that are additions");
   args.AddDouble("load-fraction", 0.5, "fraction of edges loaded before streaming");
   args.AddInt("source", 0, "source vertex for sssp/bfs/widest/ppr");
   args.AddInt("threads", 0, "worker threads (0 = hardware)");
   args.AddString("output", "", "write final per-vertex values to this file");
-  args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
-  args.AddInt("checkpoint-every", 8, "checkpoint cadence in batches (0 = WAL only)");
-  args.AddString("overflow", "block",
-                 "backpressure policy: block | drop | shed | shed-oldest | degrade");
   args.AddBool("verify-recovery", false,
                "after streaming, cold-recover from --checkpoint-dir and diff bitwise");
-  args.AddString("quarantine-dir", "",
-                 "arm admission control; rejects park in this dead-letter WAL directory");
-  args.AddInt("max-batch-edges", 0,
-              "admission ceiling on mutations per ingested batch (0 = library default)");
-  args.AddInt("watchdog-ms", 0,
-              "stall watchdog timeout in ms (0 = off; auto-recovery needs --checkpoint-dir)");
   args.AddInt("poison-batches", 0,
               "offer this many deliberately malformed batches (demo of --quarantine-dir)");
+  // The canonical driver surface: --shards, --batch-size, --flush-ms,
+  // --max-pending-batches, --overflow, --coalesce, --bg-compaction,
+  // --maintenance-budget, --checkpoint-dir, --checkpoint-every,
+  // --quarantine-dir, --max-batch-edges, --watchdog-ms, --default-quota,
+  // --tenant-quotas.
+  DriverConfig::RegisterFlags(args);
   if (!args.Parse(argc, argv)) {
+    return 1;
+  }
+
+  DriverConfig driver_config;
+  std::string config_error;
+  if (!driver_config.FromCli(args, &config_error) ||
+      !driver_config.FromEnv(&config_error)) {
+    std::printf("driver config: %s\n", config_error.c_str());
+    return 1;
+  }
+  if (args.GetBool("verify-recovery") && driver_config.checkpoint_dir.empty()) {
+    std::printf("--verify-recovery requires --checkpoint-dir\n");
     return 1;
   }
 
@@ -416,18 +486,12 @@ int Main(int argc, char** argv) {
       .tolerance = args.GetDouble("tolerance"),
       .history = static_cast<uint32_t>(args.GetInt("history")),
       .batches = static_cast<size_t>(args.GetInt("batches")),
-      .batch_size = static_cast<size_t>(args.GetInt("batch-size")),
       .add_fraction = args.GetDouble("add-fraction"),
       .source = static_cast<VertexId>(args.GetInt("source")),
       .output = args.GetString("output"),
-      .checkpoint_dir = args.GetString("checkpoint-dir"),
-      .checkpoint_every = static_cast<uint64_t>(args.GetInt("checkpoint-every")),
-      .overflow = args.GetString("overflow"),
       .verify_recovery = args.GetBool("verify-recovery"),
-      .quarantine_dir = args.GetString("quarantine-dir"),
-      .max_batch_edges = static_cast<size_t>(args.GetInt("max-batch-edges")),
-      .watchdog_ms = static_cast<uint64_t>(args.GetInt("watchdog-ms")),
       .poison_batches = static_cast<size_t>(args.GetInt("poison-batches")),
+      .driver = driver_config,
   };
 
   const std::string algo = args.GetString("algo");
@@ -477,7 +541,7 @@ int Main(int argc, char** argv) {
     UpdateStream stream(split.held_back, 99);
     for (size_t b = 0; b < config.batches; ++b) {
       const MutationBatch batch = stream.NextBatch(
-          graph, {.size = config.batch_size, .add_fraction = config.add_fraction});
+          graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
       engine.ApplyMutations(batch);
       std::printf("batch %zu: triangles %llu, adjust %.2f ms\n", b + 1,
                   static_cast<unsigned long long>(engine.count()), engine.stats().seconds * 1e3);
