@@ -23,6 +23,8 @@
 #include "src/core/graphbolt_engine.h"
 #include "src/driver/stream_driver.h"
 #include "src/fault/checkpoint.h"
+#include "src/shard/driver_config.h"
+#include "src/shard/sharded_driver.h"
 #include "src/util/timer.h"
 
 namespace graphbolt {
@@ -187,6 +189,73 @@ OverloadRow RunOverload(const StreamSplit& split,
   return row;
 }
 
+// ----- Sharded overload scenario ---------------------------------------------
+// The same flood pushed through ShardedDriver lanes: every lane gets the
+// depth-2 queue, the shed log is shared (sequence-tagged, replayed behind the
+// global PrepQuery barrier), and the degrade governor coordinates across
+// lanes. shards=1 isolates the lane machinery's own cost; shards=4 shows how
+// much of the overload the extra lanes absorb before the sentinel engages.
+
+OverloadRow RunShardedOverload(const StreamSplit& split,
+                               const std::vector<MutationBatch>& batches,
+                               OverflowPolicy policy, const char* policy_name,
+                               size_t shards, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  OverloadRow row;
+  row.policy = policy_name;
+
+  MutableGraph graph(split.initial);
+  Engine engine(&graph, PageRank(0.85, kBenchTolerance));
+  engine.InitialCompute();
+  Checkpointer<Engine> checkpointer(&engine, &graph,
+                                    {.directory = dir, .cadence_batches = 16});
+  DriverConfig config;
+  config.shards = shards;
+  config.batch_size = kBatchSize;
+  config.flush_interval_seconds = 3600.0;
+  config.max_pending_batches = kOverloadQueueDepth;
+  config.overflow = policy;
+  config.coalesce = false;
+  config.checkpoint_dir = dir;
+  config.governor = {.degrade_pressure_seconds = 1e-3,
+                     .recover_pressure_seconds = 1e-4};
+  ShardedDriver<Engine> driver(&engine, config, &checkpointer);
+  driver.CheckpointNow();
+
+  Timer ingest;
+  for (const MutationBatch& batch : batches) {
+    driver.IngestBatch(batch);
+    driver.Flush();
+  }
+  row.ingest_seconds = ingest.Seconds();
+  Timer barrier;
+  driver.PrepQuery();
+  for (int i = 0; (driver.degraded() || driver.pending_mutations() > 0) && i < 1000;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    driver.PrepQuery();
+  }
+  row.barrier_seconds = barrier.Seconds();
+  driver.Stop();
+
+  const EngineStats stats = driver.stats();
+  row.shed_to_wal = stats.mutations_shed_to_wal;
+  row.shed_replayed = stats.shed_batches_replayed;
+  row.evictions = stats.shed_oldest_evictions;
+  row.degraded_entries = stats.degraded_entries;
+  row.degraded_queries = stats.degraded_queries;
+  row.apply_ewma_ms = stats.apply_ewma_seconds * 1e3;
+
+  MutableGraph expected(split.initial);
+  for (const MutationBatch& batch : batches) {
+    expected.ApplyBatch(batch);
+  }
+  GB_CHECK(graph.num_edges() == expected.num_edges());
+
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
 void Run() {
   PrintHeader(
       "Checkpoint cadence sweep (WK* surrogate, PageRank engine, 63 batches\n"
@@ -272,6 +341,48 @@ void Run() {
       "\nExpected shape: kBlock pays in ingest (producer stalls), the shed\n"
       "policies pay at the barrier (replay of the diverted tail), kDegrade\n"
       "pays nothing up front and defers coalesced work to the barrier.\n");
+
+  PrintHeader(
+      "Sharded overload sweep: the same flood through ShardedDriver lanes\n"
+      "(shared shed log, lane-coordinated degrade, global replay barrier).\n"
+      "shards=1 prices the lane machinery; shards=4 shows lanes absorbing\n"
+      "overload before the sentinel engages.");
+
+  constexpr size_t kShardCounts[] = {1, 4};
+  constexpr struct {
+    OverflowPolicy policy;
+    const char* name;
+  } kShardedPolicies[] = {{OverflowPolicy::kBlock, "block"},
+                          {OverflowPolicy::kShedToWal, "shed-to-wal"},
+                          {OverflowPolicy::kShedOldest, "shed-oldest"},
+                          {OverflowPolicy::kDegrade, "degrade"}};
+  std::printf("\n%7s %12s %10s %11s %8s %9s %7s %9s %9s\n", "shards", "policy",
+              "ingest(s)", "barrier(s)", "shed", "replayed", "evict", "degr.in",
+              "degr.qry");
+  for (const size_t shards : kShardCounts) {
+    for (const auto& entry : kShardedPolicies) {
+      const OverloadRow row =
+          RunShardedOverload(split, flood, entry.policy, entry.name, shards, dir);
+      std::printf("%7zu %12s %10.3f %11.3f %8llu %9llu %7llu %9llu %9llu\n", shards,
+                  row.policy, row.ingest_seconds, row.barrier_seconds,
+                  static_cast<unsigned long long>(row.shed_to_wal),
+                  static_cast<unsigned long long>(row.shed_replayed),
+                  static_cast<unsigned long long>(row.evictions),
+                  static_cast<unsigned long long>(row.degraded_entries),
+                  static_cast<unsigned long long>(row.degraded_queries));
+      json.Row()
+          .Str("mode", "overload-sharded")
+          .Str("policy", row.policy)
+          .Num("shards", static_cast<double>(shards))
+          .Num("ingest_seconds", row.ingest_seconds)
+          .Num("barrier_seconds", row.barrier_seconds)
+          .Num("mutations_shed_to_wal", static_cast<double>(row.shed_to_wal))
+          .Num("shed_batches_replayed", static_cast<double>(row.shed_replayed))
+          .Num("shed_oldest_evictions", static_cast<double>(row.evictions))
+          .Num("degraded_entries", static_cast<double>(row.degraded_entries))
+          .Num("degraded_queries", static_cast<double>(row.degraded_queries));
+    }
+  }
 
   const std::string json_path = json.DefaultPath();
   if (json.WriteFile(json_path)) {

@@ -178,6 +178,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.mutations_quota_rejected),
                 static_cast<unsigned long long>(stats.batches_quarantined),
                 static_cast<unsigned long long>(stats.mutations_quarantined));
+    // The overload/stall half of the dashboard: the full sentinel layer
+    // (shed policies, degrade governor, stall watchdog) runs per-lane under
+    // any --shards count, so a service watches one line either way.
+    std::printf("sentinel: %llu mutations shed-to-wal (%llu batches replayed), "
+                "%llu shed-oldest evictions, %llu degraded entries / %llu degraded "
+                "queries, %llu stalls / %llu auto-recoveries\n",
+                static_cast<unsigned long long>(stats.mutations_shed_to_wal),
+                static_cast<unsigned long long>(stats.shed_batches_replayed),
+                static_cast<unsigned long long>(stats.shed_oldest_evictions),
+                static_cast<unsigned long long>(stats.degraded_entries),
+                static_cast<unsigned long long>(stats.degraded_queries),
+                static_cast<unsigned long long>(stats.stalls_detected),
+                static_cast<unsigned long long>(stats.watchdog_recoveries));
     if (stats.mutations_enqueued != split.held_back.size() || stats.mutations_dropped != 0) {
       std::printf("FAIL: lost mutations\n");
       return 1;

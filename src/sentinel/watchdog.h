@@ -9,6 +9,13 @@
 // An idle stage is never a stall — a healthy pipeline with no traffic
 // stays silent.
 //
+// Heartbeats carry a lane index so one watchdog can cover a sharded
+// pipeline: SetLanes(N) (call before the first heartbeat) sizes the slot
+// table to N independent copies of every stage, each lane's workers
+// heartbeat their own slots, and the single poller renders one verdict
+// per stalled (lane, stage) episode. The unsharded driver is lane 0 of a
+// one-lane table, so its call sites need no changes.
+//
 // StreamDriver installs a callback that marks the driver unhealthy,
 // cancels the barrier waiters, and (optionally) drives Recover()
 // automatically. Recovery is cooperative: the driver exposes a
@@ -23,12 +30,12 @@
 #ifndef SRC_SENTINEL_WATCHDOG_H_
 #define SRC_SENTINEL_WATCHDOG_H_
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -63,6 +70,8 @@ inline const char* PipelineStageName(PipelineStage stage) {
 struct StallCause {
   PipelineStage stage = PipelineStage::kNumStages;
   double stalled_seconds = 0.0;
+  // Which lane's heartbeat went stale; always 0 for unsharded pipelines.
+  size_t lane = 0;
 };
 
 class StallWatchdog {
@@ -78,7 +87,7 @@ class StallWatchdog {
   // once per stage per busy episode.
   using Callback = std::function<void(const StallCause&)>;
 
-  StallWatchdog() = default;
+  StallWatchdog() : slots_(new Stage[static_cast<size_t>(PipelineStage::kNumStages)]) {}
   ~StallWatchdog() { Stop(); }
 
   StallWatchdog(const StallWatchdog&) = delete;
@@ -111,12 +120,25 @@ class StallWatchdog {
 
   bool running() const { return thread_.joinable(); }
 
+  // Sizes the heartbeat table for a sharded pipeline: `lanes` independent
+  // copies of every stage. Must run before the first heartbeat or Start —
+  // the table swap is unsynchronized against concurrent EnterStage. Resets
+  // every slot to idle.
+  void SetLanes(size_t lanes) {
+    lanes_ = lanes < 1 ? 1 : lanes;
+    slots_.reset(new Stage[lanes_ * static_cast<size_t>(PipelineStage::kNumStages)]);
+  }
+
+  size_t lanes() const { return lanes_; }
+
   // ----- Stage heartbeats (lock-free, safe from any thread) ----------------
 
-  void EnterStage(PipelineStage stage) { At(stage).busy_since_ns.store(NowNs()); }
+  void EnterStage(PipelineStage stage, size_t lane = 0) {
+    At(stage, lane).busy_since_ns.store(NowNs());
+  }
 
-  void LeaveStage(PipelineStage stage) {
-    Stage& s = At(stage);
+  void LeaveStage(PipelineStage stage, size_t lane = 0) {
+    Stage& s = At(stage, lane);
     s.busy_since_ns.store(0);
     s.reported.store(false);  // next busy episode may report again
   }
@@ -124,15 +146,15 @@ class StallWatchdog {
   // RAII heartbeat; tolerates a null watchdog so call sites need no guard.
   class StageScope {
    public:
-    StageScope(StallWatchdog* watchdog, PipelineStage stage)
-        : watchdog_(watchdog), stage_(stage) {
+    StageScope(StallWatchdog* watchdog, PipelineStage stage, size_t lane = 0)
+        : watchdog_(watchdog), stage_(stage), lane_(lane) {
       if (watchdog_ != nullptr) {
-        watchdog_->EnterStage(stage_);
+        watchdog_->EnterStage(stage_, lane_);
       }
     }
     ~StageScope() {
       if (watchdog_ != nullptr) {
-        watchdog_->LeaveStage(stage_);
+        watchdog_->LeaveStage(stage_, lane_);
       }
     }
     StageScope(const StageScope&) = delete;
@@ -141,6 +163,7 @@ class StallWatchdog {
    private:
     StallWatchdog* watchdog_;
     PipelineStage stage_;
+    size_t lane_;
   };
 
   // ----- Observation --------------------------------------------------------
@@ -173,7 +196,10 @@ class StallWatchdog {
         .count();
   }
 
-  Stage& At(PipelineStage stage) { return stages_[static_cast<size_t>(stage)]; }
+  Stage& At(PipelineStage stage, size_t lane) {
+    return slots_[lane * static_cast<size_t>(PipelineStage::kNumStages) +
+                  static_cast<size_t>(stage)];
+  }
 
   void Loop() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -185,24 +211,26 @@ class StallWatchdog {
         break;
       }
       const int64_t now = NowNs();
-      for (int i = 0; i < static_cast<int>(PipelineStage::kNumStages); ++i) {
-        Stage& s = stages_[static_cast<size_t>(i)];
-        const int64_t busy_since = s.busy_since_ns.load();
-        if (busy_since == 0 || now - busy_since <= timeout_ns) {
-          continue;
-        }
-        if (s.reported.exchange(true)) {
-          continue;  // this episode already fired
-        }
-        const StallCause cause{static_cast<PipelineStage>(i),
-                               static_cast<double>(now - busy_since) * 1e-9};
-        last_stall_ = cause;
-        stalls_.fetch_add(1);
-        lock.unlock();  // callback may take driver locks / run recovery
-        callback_(cause);
-        lock.lock();
-        if (stop_) {
-          break;
+      for (size_t lane = 0; lane < lanes_ && !stop_; ++lane) {
+        for (int i = 0; i < static_cast<int>(PipelineStage::kNumStages); ++i) {
+          Stage& s = At(static_cast<PipelineStage>(i), lane);
+          const int64_t busy_since = s.busy_since_ns.load();
+          if (busy_since == 0 || now - busy_since <= timeout_ns) {
+            continue;
+          }
+          if (s.reported.exchange(true)) {
+            continue;  // this episode already fired
+          }
+          const StallCause cause{static_cast<PipelineStage>(i),
+                                 static_cast<double>(now - busy_since) * 1e-9, lane};
+          last_stall_ = cause;
+          stalls_.fetch_add(1);
+          lock.unlock();  // callback may take driver locks / run recovery
+          callback_(cause);
+          lock.lock();
+          if (stop_) {
+            break;
+          }
         }
       }
     }
@@ -210,7 +238,9 @@ class StallWatchdog {
 
   Options options_;
   Callback callback_;
-  std::array<Stage, static_cast<size_t>(PipelineStage::kNumStages)> stages_;
+  // lanes_ x kNumStages heartbeat slots, lane-major (see At).
+  std::unique_ptr<Stage[]> slots_;
+  size_t lanes_ = 1;
   std::atomic<uint64_t> stalls_{0};
 
   mutable std::mutex mu_;  // guards stop_ and last_stall_

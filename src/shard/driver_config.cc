@@ -444,21 +444,11 @@ std::string DriverConfig::Validate() const {
     return "overflow policy \"shed\" parks batches in the durable shed log; "
            "set checkpoint_dir (--checkpoint-dir) or pick block | drop";
   }
-  if (shards > 1 && overflow != OverflowPolicy::kBlock &&
-      overflow != OverflowPolicy::kDropNewest) {
-    return std::string("overflow policy \"") + OverflowName(overflow) +
-           "\" is not supported by the sharded driver; use block | drop, or "
-           "shards=1 for the unsharded StreamDriver's shed/degrade policies";
-  }
   if (watchdog_stall_seconds < 0.0) {
     return "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)";
   }
   if (watchdog_stall_seconds > 0.0 && watchdog_poll_seconds <= 0.0) {
     return "watchdog_poll_seconds must be > 0 when the watchdog is armed";
-  }
-  if (shards > 1 && watchdog_stall_seconds > 0.0) {
-    return "the stall watchdog is not yet wired into the sharded driver; "
-           "set watchdog_stall_seconds=0 (--watchdog-ms 0) or shards=1";
   }
   auto check_quota = [](const std::string& who, const TenantQuota& q) -> std::string {
     if (q.mutations_per_second < 0.0 || q.burst_mutations < 0.0) {

@@ -44,12 +44,35 @@
 // source of truth — a cold StreamDriver over the same checkpoint directory
 // recovers the state. The per-shard WALs are lineage: a per-lane record of
 // what each shard staged this run, reset at construction, for
-// observability and shard-local debugging. Overflow is restricted to
-// kBlock / kDropNewest (DriverConfig::Validate rejects the shed/degrade
-// policies for shards > 1; the unsharded driver keeps them).
+// observability and shard-local debugging.
+//
+// Sentinel under shards: the full overload/stall layer of the unsharded
+// driver (src/sentinel/) runs across lanes.
+//   - Shedding (kShedToWal / kShedOldest): every lane sheds into the ONE
+//     globally sequence-tagged shed log (Checkpointer::AppendShed), and
+//     PrepQuery's phase 2 gains a global replay barrier — after all lanes
+//     drain, the shed log replays in shed-sequence order under the engine
+//     mutex, so replayed mutations land in one deterministic global order
+//     no matter which lane shed them.
+//   - Degrade (kDegrade): one AdmissionGovernor aggregates every lane's
+//     apply-latency EWMA and the total queued depth. While it reports
+//     overload, a lane whose queue is full leaves the batch coalescing in
+//     its gutter and PrepQuery serves the last globally consistent BSP
+//     snapshot (whole batches promote under the engine mutex, so the state
+//     a degraded read observes is always the exact fixpoint of some prefix
+//     of the admitted stream). Self-clears when pressure recedes on every
+//     lane — the governor's depth input is the sum over lanes.
+//   - Watchdog: per-lane StageScope heartbeats feed a single StallWatchdog
+//     verdict (the slot table is lanes x stages). A stalled lane is
+//     recovered lane-locally — its worker sheds the in-hand batch durably
+//     and resumes, sibling lanes never stop — with one global
+//     auto-Recover() escalation path (checkpoint + WAL tail + preserved
+//     queue remainders + shed replay) when a checkpointer is attached.
 #ifndef SRC_SHARD_SHARDED_DRIVER_H_
 #define SRC_SHARD_SHARDED_DRIVER_H_
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
@@ -67,12 +90,14 @@
 #include "src/driver/gutter_buffer.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
+#include "src/fault/fault_injector.h"
 #include "src/fault/wal.h"
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/bounded_queue.h"
 #include "src/sentinel/admission.h"
 #include "src/sentinel/quarantine.h"
+#include "src/sentinel/watchdog.h"
 #include "src/shard/driver_config.h"
 #include "src/shard/session.h"
 #include "src/util/logging.h"
@@ -139,12 +164,21 @@ class ShardedDriver {
   // The engine must outlive the driver and already hold the initial
   // snapshot (run InitialCompute first). `config` must pass Validate().
   // The checkpointer, when given, is the global durability authority —
-  // attach it exactly as with StreamDriver.
+  // attach it exactly as with StreamDriver. The fault injector (test-only,
+  // a no-op unless compiled with GRAPHBOLT_FAULT_INJECTION=1) arms the
+  // lane queues and the sentinel sites; not owned.
   explicit ShardedDriver(Engine* engine, DriverConfig config,
-                         Checkpointer<Engine>* checkpointer = nullptr)
-      : engine_(engine), config_(std::move(config)), checkpointer_(checkpointer) {
+                         Checkpointer<Engine>* checkpointer = nullptr,
+                         FaultInjector* fault_injector = nullptr)
+      : engine_(engine),
+        config_(std::move(config)),
+        governor_(config_.governor),
+        checkpointer_(checkpointer),
+        injector_(fault_injector) {
     const std::string invalid = config_.Validate();
     GB_CHECK(invalid.empty()) << "DriverConfig: " << invalid;
+    GB_CHECK(config_.overflow != OverflowPolicy::kShedToWal || checkpointer_ != nullptr)
+        << "OverflowPolicy::kShedToWal requires a Checkpointer";
     if (config_.background_compaction) {
       if constexpr (GraphMaintainableEngine<Engine>) {
         engine_->mutable_graph()->SetCompactionMode(SlackCsr::CompactionMode::kBackground);
@@ -157,7 +191,7 @@ class ShardedDriver {
     if (!config_.quarantine_dir.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(config_.quarantine_dir, ec);
-      quarantine_ = std::make_unique<Quarantine>(config_.quarantine_dir, nullptr);
+      quarantine_ = std::make_unique<Quarantine>(config_.quarantine_dir, injector_);
     }
     const bool wal_enabled = !config_.checkpoint_dir.empty();
     if (wal_enabled) {
@@ -168,6 +202,7 @@ class ShardedDriver {
     for (size_t i = 0; i < config_.shards; ++i) {
       lanes_.push_back(std::make_unique<Lane>(i, config_.max_pending_batches));
       Lane& lane = *lanes_.back();
+      lane.queue.ArmFaultInjector(injector_);
       if (wal_enabled) {
         lane.wal.Open(config_.checkpoint_dir + "/shard-" + std::to_string(i) + ".wal");
         lane.wal.Reset();  // this run's lineage, not a recovery source
@@ -181,9 +216,16 @@ class ShardedDriver {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.shard_lanes = lanes_.size();
     }
+    // One heartbeat slot table entry per (lane, stage); sized before the
+    // first worker can heartbeat.
+    watchdog_.SetLanes(lanes_.size());
     for (auto& lane : lanes_) {
       Lane* raw = lane.get();
       raw->worker = std::thread([this, raw] { LaneLoop(*raw); });
+    }
+    if (config_.watchdog_stall_seconds > 0.0) {
+      watchdog_.Start({config_.watchdog_poll_seconds, config_.watchdog_stall_seconds},
+                      [this](const StallCause& cause) { OnStall(cause); });
     }
   }
 
@@ -224,11 +266,18 @@ class ShardedDriver {
     }
   }
 
-  // Two-phase query barrier. Phase 1 flushes every lane; phase 2 drains
-  // them. On return every mutation ingested before the call has been
-  // promoted, so the engine holds an exact BSP snapshot of the admitted
-  // stream. Returns false on the fast path (nothing buffered or in flight
-  // anywhere — the previous snapshot is still current).
+  // Two-phase query barrier with a global shed-replay phase. Phase 1
+  // flushes every lane; phase 2 drains them; then any batches parked in
+  // the global shed log replay in shed-sequence order under the engine
+  // mutex — one deterministic order no matter which lane shed them — and
+  // the flush/drain/replay loop repeats until nothing is shed (a producer
+  // racing the barrier may shed behind the drain). On return every
+  // mutation ingested before the call has been promoted, so the engine
+  // holds an exact BSP snapshot of the admitted stream. Returns false on
+  // the fast path (nothing buffered, in flight, or shed anywhere — the
+  // previous snapshot is still current). Under kDegrade with the governor
+  // reporting overload, serves the last globally consistent snapshot
+  // immediately instead of waiting on the barrier.
   bool PrepQuery() {
     bool idle = true;
     for (auto& lane : lanes_) {
@@ -239,17 +288,38 @@ class ShardedDriver {
       }
     }
     if (idle) {
-      return false;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (shed_batches_ == 0) {
+        return false;
+      }
+      idle = false;
     }
-    for (auto& lane : lanes_) {
-      std::unique_lock<std::mutex> lock(lane->mu);
-      FlushLaneLocked(*lane, lock);
+    if (config_.overflow == OverflowPolicy::kDegrade && degraded()) {
+      // Degraded serve: whole batches promote under engine_mu_, so the
+      // engine state is always the exact BSP fixpoint of *some* prefix of
+      // the admitted stream — stale, never inconsistent. Clears on its own
+      // once pressure recedes on every lane.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.degraded_queries;
+      return true;
     }
-    for (auto& lane : lanes_) {
-      std::unique_lock<std::mutex> lock(lane->mu);
-      lane->drained_cv.wait(lock, [&] { return lane->in_flight == 0; });
+    for (;;) {
+      for (auto& lane : lanes_) {
+        std::unique_lock<std::mutex> lock(lane->mu);
+        FlushLaneLocked(*lane, lock, /*allow_refill=*/false);
+      }
+      for (auto& lane : lanes_) {
+        std::unique_lock<std::mutex> lock(lane->mu);
+        lane->drained_cv.wait(lock, [&] { return lane->in_flight == 0; });
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (shed_batches_ == 0) {
+          return true;
+        }
+      }
+      ReplayShed();  // the global replay barrier
     }
-    return true;
   }
 
   // Barrier + reference to the engine's values (see StreamDriver::values
@@ -275,10 +345,31 @@ class ShardedDriver {
       std::lock_guard<std::mutex> lock(stats_mu_);
       snapshot = stats_;
     }
+    {
+      std::lock_guard<std::mutex> lock(governor_mu_);
+      snapshot.apply_ewma_seconds = governor_.apply_ewma_seconds();
+      snapshot.degraded_entries = governor_.degraded_entries();
+    }
     if (checkpointer_ != nullptr) {
       checkpointer_->MergeStats(&snapshot);
     }
     return snapshot;
+  }
+
+  // False after the watchdog has declared a lane stalled, until the lane's
+  // local recovery (shed the in-hand batch, resume) or a global Recover()
+  // completes.
+  bool healthy() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return healthy_;
+  }
+
+  // True while the governor has the driver in degraded mode (overload):
+  // under kDegrade, PrepQuery serves the last globally consistent snapshot
+  // instead of blocking on the barrier.
+  bool degraded() const {
+    std::lock_guard<std::mutex> lock(governor_mu_);
+    return governor_.degraded();
   }
 
   // Mutations buffered across all lane gutters (not yet flushed).
@@ -345,6 +436,7 @@ class ShardedDriver {
       if (checkpointer_ == nullptr) {
         return false;
       }
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       return checkpointer_->WriteCheckpoint(applied_seq_);
     } else {
@@ -352,10 +444,171 @@ class ShardedDriver {
     }
   }
 
+  // Global crash recovery — the escalation path behind the lane-local
+  // story. Stops every lane, joins the workers (a worker parked in an
+  // injected stall observes stall_abort_, sheds its in-hand batch, and
+  // exits), restores the newest valid checkpoint, replays the WAL tail,
+  // promotes the batches still queued in any lane (process memory, not
+  // crash casualties — applied in lane order, which is a legal
+  // interleaving), drains the shed log in shed-sequence order, and
+  // restarts the lanes. Exactly StreamDriver::Recover's protocol against
+  // the same on-disk state, so either driver shape restores the other's
+  // checkpoints. Returns false (lanes restarted, engine state left as-is)
+  // when no valid checkpoint exists.
+  bool Recover() {
+    if constexpr (!CheckpointableEngine<Engine>) {
+      GB_LOG(kError) << "Recover() requires a CheckpointableEngine";
+      return false;
+    } else {
+      std::lock_guard<std::mutex> stop_lock(stop_mu_);
+      if (checkpointer_ == nullptr) {
+        GB_LOG(kError) << "Recover() without a Checkpointer";
+        return false;
+      }
+      Timer wall;
+      for (auto& lane : lanes_) {
+        std::lock_guard<std::mutex> lock(lane->mu);
+        lane->accepting = false;
+      }
+      for (auto& lane : lanes_) {
+        lane->queue.Close();
+      }
+      // Cooperative cancellation: a worker parked in an injected stage
+      // stall observes this token, sheds its in-hand batch, and exits so
+      // the joins below return.
+      stall_abort_.store(true);
+      for (auto& lane : lanes_) {
+        if (lane->worker.joinable()) {
+          lane->worker.join();
+        }
+      }
+      // Queue leftovers, preserved per lane in pop order. Lane order is a
+      // legal global order: the batches were concurrent at the crash.
+      std::vector<std::pair<size_t, TimedBatch>> preserved;
+      for (size_t i = 0; i < lanes_.size(); ++i) {
+        while (std::optional<TimedBatch> leftover = lanes_[i]->queue.Pop()) {
+          preserved.emplace_back(i, std::move(*leftover));
+        }
+      }
+      bool restored = false;
+      bool applied_preserved = false;
+      uint64_t replayed_wal = 0;
+      uint64_t replayed_shed = 0;
+      uint64_t recovered_seq = 0;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        uint64_t ckpt_seq = 0;
+        restored = checkpointer_->RestoreLatest(&ckpt_seq);
+        if (restored) {
+          applied_seq_ = ckpt_seq;
+          replayed_wal = checkpointer_->ReplayWal(
+              ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
+                engine_->ApplyMutations(batch);
+                applied_seq_ = seq;
+              });
+        }
+        if (restored || applied_seq_ > 0) {
+          // Preserved and shed batches are promoting for the FIRST time, so
+          // the observer sees them (the WAL tail above is a re-promotion of
+          // already-observed batches and stays silent) — an observer-recorded
+          // stream stays a complete, exactly-once record of the admitted
+          // stream even across recovery.
+          for (auto& [lane_index, item] : preserved) {
+            // Keep the lane's staging partition in step with its lineage
+            // (the global engine is the recovery authority either way).
+            lanes_[lane_index]->partition.ApplyBatch(item.batch);
+            if (observer_) {
+              observer_(lane_index, item.batch);
+            }
+            ApplyJournaled(item.batch);
+          }
+          applied_preserved = true;
+          replayed_shed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
+            if (observer_) {
+              observer_(lanes_.size(), batch);
+            }
+            ApplyJournaled(batch);
+          });
+        }
+        if (restored) {
+          checkpointer_->WriteCheckpoint(applied_seq_);
+        }
+        // Snapshot for the log line below: once the lanes respawn they
+        // advance applied_seq_ under engine_mu_, which the logging no
+        // longer holds.
+        recovered_seq = applied_seq_;
+      }
+      for (auto& lane : lanes_) {
+        lane->queue.Reset();
+      }
+      for (size_t i = 0; i < lanes_.size(); ++i) {
+        size_t from_lane = 0;
+        for (const auto& [lane_index, item] : preserved) {
+          from_lane += lane_index == i ? 1 : 0;
+        }
+        std::lock_guard<std::mutex> lock(lanes_[i]->mu);
+        lanes_[i]->in_flight -= std::min(lanes_[i]->in_flight, from_lane);
+        if (lanes_[i]->in_flight == 0) {
+          lanes_[i]->drained_cv.notify_all();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        healthy_ = true;
+        // Subtract only what DrainShed actually replayed: a producer racing
+        // against recovery may shed after the drain, and that batch must
+        // stay counted or the next barrier would never replay it.
+        shed_batches_ -= std::min(shed_batches_, static_cast<size_t>(replayed_shed));
+        if (applied_preserved) {
+          stats_.batches_applied += preserved.size() + replayed_shed;
+        } else {
+          for (const auto& [lane_index, item] : preserved) {
+            stats_.mutations_dropped += item.batch.size();
+          }
+        }
+        if (restored) {
+          ++stats_.recoveries;
+          stats_.batches_replayed += replayed_wal + replayed_shed;
+          stats_.shed_batches_replayed += replayed_shed;
+        }
+      }
+      stall_abort_.store(false);
+      for (auto& lane : lanes_) {
+        lane->stall_abort.store(false);
+        std::lock_guard<std::mutex> lock(lane->mu);
+        lane->accepting = true;
+      }
+      for (auto& lane : lanes_) {
+        Lane* raw = lane.get();
+        raw->worker = std::thread([this, raw] { LaneLoop(*raw); });
+      }
+      stopped_ = false;
+      // Restart the watchdog after a Stop()-then-Recover() revival. No-op
+      // when it is already running — including when this very call runs
+      // *on* the watchdog thread (auto-recovery).
+      if (config_.watchdog_stall_seconds > 0.0 && !watchdog_.running()) {
+        watchdog_.Start({config_.watchdog_poll_seconds, config_.watchdog_stall_seconds},
+                        [this](const StallCause& cause) { OnStall(cause); });
+      }
+      if (restored) {
+        GB_LOG(kInfo) << "sharded recovery to batch " << recovered_seq << " (" << replayed_wal
+                      << " WAL, " << preserved.size() << " queued, " << replayed_shed
+                      << " shed batches replayed) in " << wall.Millis() << " ms";
+      }
+      return restored;
+    }
+  }
+
   // Drains and shuts down: lanes stop accepting, gutter remainders flush,
-  // every queued batch is promoted, workers join. Idempotent; called by
-  // the destructor.
+  // every queued batch is promoted, workers join, and anything left shed
+  // replays. Idempotent; called by the destructor. After a stall the
+  // un-applied queue leftovers are parked in the durable shed log
+  // (recoverable by a later cold-start Recover) or counted dropped.
   void Stop() {
+    // The watchdog's callback may be inside Recover() — which takes
+    // stop_mu_ — so stop it *before* acquiring stop_mu_ or Stop deadlocks
+    // behind its own watchdog.
+    watchdog_.Stop();
     std::lock_guard<std::mutex> stop_lock(stop_mu_);
     if (stopped_) {
       return;
@@ -363,8 +616,9 @@ class ShardedDriver {
     for (auto& lane : lanes_) {
       std::unique_lock<std::mutex> lock(lane->mu);
       lane->accepting = false;
-      FlushLaneLocked(*lane, lock);
+      FlushLaneLocked(*lane, lock, /*allow_refill=*/false);
     }
+    stall_abort_.store(true);  // release workers parked in an injected stall
     for (auto& lane : lanes_) {
       lane->queue.Close();
     }
@@ -372,6 +626,32 @@ class ShardedDriver {
       if (lane->worker.joinable()) {
         lane->worker.join();
       }
+    }
+    for (auto& lane : lanes_) {
+      while (std::optional<TimedBatch> leftover = lane->queue.Pop()) {
+        const bool shed = checkpointer_ != nullptr && checkpointer_->AppendShed(leftover->batch);
+        {
+          std::lock_guard<std::mutex> lock(lane->mu);
+          if (--lane->in_flight == 0) {
+            lane->drained_cv.notify_all();
+          }
+        }
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        if (shed) {
+          stats_.mutations_shed_to_wal += leftover->batch.size();
+          ++shed_batches_;
+        } else {
+          stats_.mutations_dropped += leftover->batch.size();
+        }
+      }
+    }
+    bool have_shed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      have_shed = shed_batches_ > 0;
+    }
+    if (have_shed) {
+      ReplayShed();  // engines are idle: every worker has joined
     }
     stopped_ = true;
   }
@@ -399,6 +679,10 @@ class ShardedDriver {
     bool accepting = true;
     BoundedQueue<TimedBatch> queue;
     std::thread worker;
+    // Lane-local cooperative cancellation: set by the watchdog verdict so
+    // a worker parked in an injected stall sheds its in-hand batch and
+    // resumes; consumed (reset) by the worker.
+    std::atomic<bool> stall_abort{false};
     bool wal_enabled = false;
     WriteAheadLog wal;
     uint64_t wal_seq = 0;
@@ -507,11 +791,30 @@ class ShardedDriver {
 
   // Takes the lane's gutter as a batch and moves it toward the worker.
   // Caller holds `lock` on lane.mu; the queue handoff happens unlocked
-  // (in_flight covers the window). kBlock waits on a full queue — the
-  // backpressure this producer feels; kDropNewest and a closed queue
-  // (shutdown) count the batch dropped.
-  void FlushLaneLocked(Lane& lane, std::unique_lock<std::mutex>& lock) {
+  // (in_flight covers the window).
+  //
+  // Overflow on a full lane queue follows the policy: kBlock waits (the
+  // backpressure this producer feels), kDropNewest drops, kShedToWal sheds
+  // into the *global* sequence-tagged shed log, kShedOldest evicts the
+  // lane's oldest queued batch into the shed log (or drops it) to admit
+  // the fresh one, and kDegrade puts the batch *back* into the lane's
+  // gutter to be re-coalesced and retried — unless `allow_refill` is false
+  // (query barrier / shutdown), where kDegrade falls back to a lossless
+  // blocking push. A closed queue (shutdown or recovery) sheds durably
+  // when a checkpointer is attached and drops otherwise, under every
+  // policy. The Refill keeps the gutter's age epoch (see GutterBuffer), so
+  // the lane's monotonic stale-flush deadline survives degrade churn.
+  void FlushLaneLocked(Lane& lane, std::unique_lock<std::mutex>& lock,
+                       bool allow_refill = true) {
     if (lane.gutter.empty()) {
+      return;
+    }
+    if (config_.overflow == OverflowPolicy::kDegrade && allow_refill &&
+        !lane.queue.closed() && lane.queue.size() >= lane.queue.capacity()) {
+      // Coalesce under pressure: leave the batch in the gutter (duplicates
+      // die at the eventual Take) instead of churning Take/Refill on every
+      // ingested mutation while the queue stays full.
+      UpdateGovernorPressure();
       return;
     }
     TimedBatch item;
@@ -523,23 +826,66 @@ class ShardedDriver {
     lock.unlock();
     bool pushed = false;
     double waited = 0.0;
+    std::optional<TimedBatch> evicted;
     if (lane.queue.TryPush(std::move(item))) {
       pushed = true;
-    } else if (config_.overflow == OverflowPolicy::kBlock) {
+    } else if (config_.overflow == OverflowPolicy::kBlock ||
+               (config_.overflow == OverflowPolicy::kDegrade && !allow_refill)) {
       Timer wait;
       pushed = lane.queue.Push(std::move(item));
       waited = wait.Seconds();
+    } else if (config_.overflow == OverflowPolicy::kShedOldest) {
+      pushed = lane.queue.PushEvictOldest(std::move(item), &evicted);
+    }
+    const bool closed = !pushed && lane.queue.closed();
+    const bool refill = !pushed && !closed && allow_refill &&
+                        config_.overflow == OverflowPolicy::kDegrade;
+    bool shed = false;
+    if (!pushed && !refill && config_.overflow != OverflowPolicy::kDropNewest &&
+        checkpointer_ != nullptr) {
+      shed = checkpointer_->AppendShed(item.batch);
+    }
+    bool evicted_shed = false;
+    if (evicted.has_value() && checkpointer_ != nullptr) {
+      evicted_shed = checkpointer_->AppendShed(evicted->batch);
     }
     lock.lock();
-    if (!pushed && --lane.in_flight == 0) {
+    if (evicted.has_value() && --lane.in_flight == 0) {
       lane.drained_cv.notify_all();
     }
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.mutations_coalesced += coalesced;
-    stats_.queue_wait_seconds += waited;
     if (!pushed) {
-      stats_.mutations_dropped += mutations;
+      if (refill) {
+        lane.gutter.Refill(std::move(item.batch));
+      }
+      if (--lane.in_flight == 0) {
+        lane.drained_cv.notify_all();
+      }
     }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.mutations_coalesced += coalesced;
+      stats_.queue_wait_seconds += waited;
+      if (evicted.has_value()) {
+        // The evicted batch leaves the pipeline un-applied: account it
+        // shed (durable) or dropped; its in-flight slot was released above.
+        ++stats_.shed_oldest_evictions;
+        if (evicted_shed) {
+          stats_.mutations_shed_to_wal += evicted->batch.size();
+          ++shed_batches_;
+        } else {
+          stats_.mutations_dropped += evicted->batch.size();
+        }
+      }
+      if (!pushed && !refill) {
+        if (shed) {
+          stats_.mutations_shed_to_wal += mutations;
+          ++shed_batches_;
+        } else {
+          stats_.mutations_dropped += mutations;
+        }
+      }
+    }
+    UpdateGovernorPressure();
   }
 
   void LaneLoop(Lane& lane) {
@@ -547,7 +893,9 @@ class ShardedDriver {
       std::optional<TimedBatch> item =
           lane.queue.PopFor(std::chrono::duration<double>(NextPollSeconds(lane)));
       if (item.has_value()) {
-        ApplyLane(lane, std::move(*item));
+        if (ApplyLane(lane, std::move(*item))) {
+          return;  // stall-aborted globally: recovery owns the pipeline now
+        }
       } else if (lane.queue.closed()) {
         if (lane.queue.Empty()) {
           break;
@@ -558,8 +906,12 @@ class ShardedDriver {
         // the budget bounds each step, not the number of ticking threads.
         GlobalMaintenanceTick();
       }
+      // The stale check runs after *every* iteration — successful pops
+      // included, so a busy lane queue cannot starve a stale gutter —
+      // against the monotonic deadline NextPollSeconds carries across
+      // polls (same contract as StreamDriver::WorkerLoop).
       if (TryFlushStaleLane(lane)) {
-        continue;
+        return;  // stall-aborted globally during the direct apply
       }
     }
   }
@@ -580,8 +932,8 @@ class ShardedDriver {
 
   // Flushes a stale lane gutter and applies it directly — never through
   // the queue (the worker must not block behind itself), and only when
-  // in_flight == 0 so ordering is preserved. Returns true when a batch
-  // was applied.
+  // in_flight == 0 so ordering is preserved. Returns true when the worker
+  // must exit (globally stall-aborted mid-apply).
   bool TryFlushStaleLane(Lane& lane) {
     TimedBatch stale;
     uint64_t coalesced = 0;
@@ -591,6 +943,7 @@ class ShardedDriver {
           lane.gutter.AgeSeconds() < config_.flush_interval_seconds) {
         return false;
       }
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kGutterFlush, lane.index);
       stale.batch = lane.gutter.Take(config_.coalesce, &coalesced);
       stale.since_flush.Reset();
       ++lane.in_flight;
@@ -599,27 +952,67 @@ class ShardedDriver {
       std::lock_guard<std::mutex> slock(stats_mu_);
       stats_.mutations_coalesced += coalesced;
     }
-    ApplyLane(lane, std::move(stale));
-    return true;
+    return ApplyLane(lane, std::move(stale));
   }
 
   // Stage, then promote. Staging (shard WAL append + partition apply) runs
   // concurrently across lanes; promotion serializes on the engine mutex,
-  // whose acquisition order defines the global apply order.
-  void ApplyLane(Lane& lane, TimedBatch item) {
+  // whose acquisition order defines the global apply order. Returns true
+  // when the apply was cancelled by *global* stall recovery — the worker
+  // must exit so Recover() can join it; the in-hand batch has been shed
+  // durably (or counted dropped) so recovery's shed drain replays it. A
+  // *lane-local* cancellation sheds the in-hand batch the same way but
+  // returns false: the lane resumes on its own, siblings never noticed.
+  bool ApplyLane(Lane& lane, TimedBatch item) {
+    if (GB_FAULT_POINT(injector_, FaultSite::kStageStall)) {
+      // Injected hung apply: park (cooperatively) with this lane's kApply
+      // heartbeat reading busy until a cancellation token releases it.
+      // Parks *outside* engine_mu_ — sibling lanes keep promoting the
+      // whole time; a stage that wedged while holding the engine could be
+      // detected but never joined (see watchdog.h).
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply, lane.index);
+      GB_LOG(kWarning) << "FaultInjector: lane " << lane.index << " apply stage stalled";
+      while (!stall_abort_.load() && !lane.stall_abort.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const bool global_abort = stall_abort_.load();
+      lane.stall_abort.store(false);  // consume the lane-local token
+      const bool shed = checkpointer_ != nullptr && checkpointer_->AppendShed(item.batch);
+      {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        if (--lane.in_flight == 0) {
+          lane.drained_cv.notify_all();
+        }
+      }
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      if (shed) {
+        stats_.mutations_shed_to_wal += item.batch.size();
+        ++shed_batches_;
+      } else {
+        stats_.mutations_dropped += item.batch.size();
+      }
+      if (!global_abort) {
+        // Lane-local recovery is complete: the in-hand batch is parked in
+        // the shed log for the next barrier and this lane resumes popping.
+        healthy_ = true;
+      }
+      return global_abort;
+    }
+    Timer wall;
     bool journaled = false;
-    if (lane.wal_enabled) {
-      journaled = lane.wal.Append(++lane.wal_seq, item.batch);
-    }
-    lane.partition.ApplyBatch(item.batch);
-    if (config_.background_compaction) {
-      // One bounded increment per staged batch keeps the partition's
-      // rewrites overlapped with its own stream.
-      lane.partition.MaintenanceStep(config_.maintenance_budget_edges);
-    }
     EngineStats applied;
     uint64_t rebuilds = 0;
     {
+      StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply, lane.index);
+      if (lane.wal_enabled) {
+        journaled = lane.wal.Append(++lane.wal_seq, item.batch);
+      }
+      lane.partition.ApplyBatch(item.batch);
+      if (config_.background_compaction) {
+        // One bounded increment per staged batch keeps the partition's
+        // rewrites overlapped with its own stream.
+        lane.partition.MaintenanceStep(config_.maintenance_budget_edges);
+      }
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       if (observer_) {
         observer_(lane.index, item.batch);
@@ -646,10 +1039,18 @@ class ShardedDriver {
       stats_.inline_runs += applied.inline_runs;
       stats_.flush_latency_seconds += item.since_flush.Seconds();
     }
+    {
+      // Every lane's promote feeds the one global governor: the EWMA sees
+      // all apply latencies, the pressure input sees the total depth.
+      std::lock_guard<std::mutex> glock(governor_mu_);
+      governor_.RecordApply(wall.Seconds());
+      governor_.Update(QueuedDepth());
+    }
     std::lock_guard<std::mutex> lock(lane.mu);
     if (--lane.in_flight == 0) {
       lane.drained_cv.notify_all();
     }
+    return false;
   }
 
   // Every engine apply funnels through here: assign the next global
@@ -692,6 +1093,94 @@ class ShardedDriver {
     }
   }
 
+  // Applies batches parked in the global shed log through the journaled
+  // path, in shed-sequence order — one deterministic global order no
+  // matter which lane shed them. shed_replay_mu_ serializes concurrent
+  // barriers so a batch is never applied twice; the engine lock orders the
+  // replay against every lane worker. The observer sees replayed batches
+  // with the pseudo-lane index lanes_.size() ("shed replay"), so an
+  // observer-driven re-run still captures the true global apply order.
+  void ReplayShed() {
+    if (checkpointer_ == nullptr) {
+      return;
+    }
+    std::lock_guard<std::mutex> replay_lock(shed_replay_mu_);
+    uint64_t replayed = 0;
+    EngineStats summed;
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      replayed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
+        if (observer_) {
+          observer_(lanes_.size(), batch);
+        }
+        ApplyJournaled(batch);
+        const EngineStats& applied = engine_->stats();
+        summed.seconds += applied.seconds;
+        summed.mutation_seconds += applied.mutation_seconds;
+        summed.edges_processed += applied.edges_processed;
+        summed.iterations += applied.iterations;
+        summed.tasks_forked += applied.tasks_forked;
+        summed.tasks_stolen += applied.tasks_stolen;
+        summed.inline_runs += applied.inline_runs;
+      });
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shed_batches_replayed += replayed;
+    stats_.batches_applied += replayed;
+    stats_.seconds += summed.seconds;
+    stats_.mutation_seconds += summed.mutation_seconds;
+    stats_.edges_processed += summed.edges_processed;
+    stats_.iterations += summed.iterations;
+    stats_.tasks_forked += summed.tasks_forked;
+    stats_.tasks_stolen += summed.tasks_stolen;
+    stats_.inline_runs += summed.inline_runs;
+    shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
+  }
+
+  // Watchdog verdict: some lane's stage exceeded the stall timeout. Runs
+  // on the watchdog thread, outside the watchdog's lock. Marks the driver
+  // unhealthy, then releases the stalled lane's worker via its lane-local
+  // token — the worker sheds its in-hand batch durably and resumes, and
+  // sibling lanes never stop (the park is outside the engine mutex). With
+  // auto-recovery configured, escalates to the full global Recover() on
+  // top: restore, replay WAL + queued + shed, restart every lane.
+  void OnStall(const StallCause& cause) {
+    GB_LOG(kWarning) << "watchdog: lane " << cause.lane << " stage "
+                     << PipelineStageName(cause.stage) << " stalled for "
+                     << cause.stalled_seconds << " s";
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.stalls_detected;
+      healthy_ = false;
+    }
+    if (cause.lane < lanes_.size()) {
+      lanes_[cause.lane]->stall_abort.store(true);  // lane-local release
+    }
+    if (config_.watchdog_auto_recover && checkpointer_ != nullptr) {
+      if (Recover()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.watchdog_recoveries;
+      }
+      watchdog_.ClearStall();
+    }
+  }
+
+  // Total queued depth across every lane — the governor's pressure input,
+  // which is what makes degrade fire on any overloaded lane and clear only
+  // when pressure recedes on all of them.
+  size_t QueuedDepth() const {
+    size_t depth = 0;
+    for (const auto& lane : lanes_) {
+      depth += lane->queue.size();
+    }
+    return depth;
+  }
+
+  void UpdateGovernorPressure() {
+    std::lock_guard<std::mutex> lock(governor_mu_);
+    governor_.Update(QueuedDepth());
+  }
+
   void QuarantineReject(RejectReason reason, const MutationBatch& batch, TenantState* state) {
     const bool parked = quarantine_->Append(reason, batch);
     if (parked) {
@@ -711,7 +1200,12 @@ class ShardedDriver {
 
   Engine* engine_;
   DriverConfig config_;
+  // The one overload governor, fed by every lane: the EWMA sees all apply
+  // latencies, the pressure input the total queued depth. Guarded by
+  // governor_mu_ (a leaf lock).
+  AdmissionGovernor governor_;
   Checkpointer<Engine>* checkpointer_;
+  FaultInjector* injector_;
 
   std::vector<std::unique_ptr<Lane>> lanes_;
 
@@ -722,6 +1216,25 @@ class ShardedDriver {
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;
+  // Batches currently parked in the global shed log, guarded by stats_mu_;
+  // each drain subtracts only what it actually replayed (a producer racing
+  // a barrier may shed behind the drain).
+  size_t shed_batches_ = 0;
+  // False from a watchdog verdict until the stalled lane's local recovery
+  // (shed the in-hand batch, resume) or a global Recover() completes.
+  bool healthy_ = true;
+
+  mutable std::mutex governor_mu_;
+
+  // One watchdog over a lanes x stages heartbeat table; each lane's worker
+  // heartbeats its own slots, the poller renders per-(lane, stage) verdicts.
+  StallWatchdog watchdog_;
+  // Global cooperative cancellation: set by Recover()/Stop() so a worker
+  // parked in an injected stall sheds its in-hand batch and *exits* (the
+  // lane-local token makes it shed and resume instead).
+  std::atomic<bool> stall_abort_{false};
+
+  std::mutex shed_replay_mu_;  // serializes concurrent shed-log drains
 
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;

@@ -119,12 +119,9 @@ TEST(DriverConfigCli, RejectMatrix) {
       {{"--tenant-quotas", "alice"}, "tenant=rate"},
       {{"--tenant-quotas", "=5000"}, "tenant=rate"},
       {{"--tenant-quotas", "alice=abc"}, "alice"},
-      // Cross-field: shed needs a durable shed log.
+      // Cross-field: shed needs a durable shed log — sharded or not.
       {{"--overflow", "shed"}, "checkpoint"},
-      // Sharded driver restricts overflow to block | drop.
-      {{"--shards", "2", "--overflow", "degrade"}, "unsharded"},
-      // The watchdog is not wired into the sharded driver yet.
-      {{"--shards", "2", "--watchdog-ms", "100"}, "watchdog"},
+      {{"--shards", "4", "--overflow", "shed"}, "checkpoint"},
   };
   for (const RejectCase& c : cases) {
     ArgParser args("t");
@@ -144,6 +141,41 @@ TEST(DriverConfigCli, ShedAcceptedWithCheckpointDirUnsharded) {
   std::string error;
   ASSERT_TRUE(config.FromCli(args, &error)) << error;
   EXPECT_EQ(config.overflow, OverflowPolicy::kShedToWal);
+}
+
+// The sentinel layer is shard-aware: every watchdog/shed/degrade
+// combination that is valid unsharded is valid at shards > 1 too (the
+// former "future work" rejections are gone).
+TEST(DriverConfigCli, SentinelAcceptMatrixUnderShards) {
+  struct AcceptCase {
+    std::vector<std::string> flags;
+    OverflowPolicy overflow;
+    double watchdog_seconds;
+  };
+  const std::vector<AcceptCase> cases = {
+      {{"--shards", "2", "--overflow", "degrade"}, OverflowPolicy::kDegrade, 0.0},
+      {{"--shards", "4", "--overflow", "shed-oldest"}, OverflowPolicy::kShedOldest, 0.0},
+      {{"--shards", "4", "--overflow", "shed", "--checkpoint-dir", "/tmp/ckpt"},
+       OverflowPolicy::kShedToWal, 0.0},
+      {{"--shards", "2", "--watchdog-ms", "100"}, OverflowPolicy::kBlock, 0.1},
+      {{"--shards", "4", "--overflow", "shed", "--checkpoint-dir", "/tmp/ckpt",
+        "--watchdog-ms", "250"},
+       OverflowPolicy::kShedToWal, 0.25},
+      {{"--shards", "8", "--overflow", "degrade", "--watchdog-ms", "50",
+        "--quarantine-dir", "/tmp/q"},
+       OverflowPolicy::kDegrade, 0.05},
+  };
+  for (const AcceptCase& c : cases) {
+    ArgParser args("t");
+    ASSERT_TRUE(ParseFlags(c.flags, &args));
+    DriverConfig config;
+    std::string error;
+    EXPECT_TRUE(config.FromCli(args, &error))
+        << "flags should have been accepted, got: " << error;
+    EXPECT_EQ(config.overflow, c.overflow);
+    EXPECT_DOUBLE_EQ(config.watchdog_stall_seconds, c.watchdog_seconds);
+    EXPECT_TRUE(config.Validate().empty()) << config.Validate();
+  }
 }
 
 TEST(DriverConfigQuota, ParseQuotaMatrix) {
@@ -183,7 +215,9 @@ class DriverConfigEnvTest : public ::testing::Test {
     for (const char* name :
          {"GRAPHBOLT_SHARDS", "GRAPHBOLT_BATCH_SIZE", "GRAPHBOLT_OVERFLOW",
           "GRAPHBOLT_FLUSH_MS", "GRAPHBOLT_TENANT_QUOTAS", "GRAPHBOLT_DEFAULT_QUOTA",
-          "GRAPHBOLT_WATCHDOG_MS"}) {
+          "GRAPHBOLT_WATCHDOG_MS", "GRAPHBOLT_QUARANTINE_DIR",
+          "GRAPHBOLT_MAX_BATCH_EDGES", "GRAPHBOLT_CHECKPOINT_DIR",
+          "GRAPHBOLT_MAX_PENDING_BATCHES"}) {
       ::unsetenv(name);
     }
   }
@@ -213,12 +247,78 @@ TEST_F(DriverConfigEnvTest, MalformedValueNamesTheVariable) {
 }
 
 TEST_F(DriverConfigEnvTest, CrossFieldValidationStillRuns) {
+  // Sharded watchdog/shed/degrade are legal now, so the cross-field check
+  // that still has teeth is shed-without-a-shed-log.
   ::setenv("GRAPHBOLT_SHARDS", "4", 1);
-  ::setenv("GRAPHBOLT_WATCHDOG_MS", "100", 1);
+  ::setenv("GRAPHBOLT_OVERFLOW", "shed", 1);
   DriverConfig config;
   std::string error;
   EXPECT_FALSE(config.FromEnv(&error));
-  EXPECT_NE(error.find("watchdog"), std::string::npos) << error;
+  EXPECT_NE(error.find("checkpoint"), std::string::npos) << error;
+  // The same config with a checkpoint dir in the environment passes.
+  ::setenv("GRAPHBOLT_CHECKPOINT_DIR", "/tmp/ckpt", 1);
+  DriverConfig fixed;
+  std::string fixed_error;
+  EXPECT_TRUE(fixed.FromEnv(&fixed_error)) << fixed_error;
+  EXPECT_EQ(fixed.overflow, OverflowPolicy::kShedToWal);
+}
+
+TEST_F(DriverConfigEnvTest, WatchdogAndDegradeAcceptedShardedFromEnv) {
+  ::setenv("GRAPHBOLT_SHARDS", "4", 1);
+  ::setenv("GRAPHBOLT_WATCHDOG_MS", "100", 1);
+  ::setenv("GRAPHBOLT_OVERFLOW", "degrade", 1);
+  DriverConfig config;
+  std::string error;
+  ASSERT_TRUE(config.FromEnv(&error)) << error;
+  EXPECT_EQ(config.shards, 4u);
+  EXPECT_DOUBLE_EQ(config.watchdog_stall_seconds, 0.1);
+  EXPECT_EQ(config.overflow, OverflowPolicy::kDegrade);
+}
+
+// The documented precedence chain: defaults, then FromCli overwrites them,
+// then FromEnv applies on top of the CLI values — for every sentinel flag.
+TEST_F(DriverConfigEnvTest, PrecedenceEnvOverCliOverDefaultPerSentinelFlag) {
+  const DriverConfig defaults;
+  ArgParser args("t");
+  ASSERT_TRUE(ParseFlags({"--watchdog-ms", "200", "--overflow", "shed-oldest",
+                          "--quarantine-dir", "/tmp/cli-q", "--max-batch-edges", "777",
+                          "--max-pending-batches", "16"},
+                         &args));
+  DriverConfig config;
+  std::string error;
+  ASSERT_TRUE(config.FromCli(args, &error)) << error;
+  // CLI over default.
+  EXPECT_NE(config.watchdog_stall_seconds, defaults.watchdog_stall_seconds);
+  EXPECT_DOUBLE_EQ(config.watchdog_stall_seconds, 0.2);
+  EXPECT_EQ(config.overflow, OverflowPolicy::kShedOldest);
+  EXPECT_EQ(config.quarantine_dir, "/tmp/cli-q");
+  EXPECT_EQ(config.admission.max_batch_mutations, 777u);
+  EXPECT_EQ(config.max_pending_batches, 16u);
+
+  // Env over CLI, but only for the variables actually set: watchdog-ms and
+  // overflow move, the rest keep their CLI values.
+  ::setenv("GRAPHBOLT_WATCHDOG_MS", "500", 1);
+  ::setenv("GRAPHBOLT_OVERFLOW", "degrade", 1);
+  ASSERT_TRUE(config.FromEnv(&error)) << error;
+  EXPECT_DOUBLE_EQ(config.watchdog_stall_seconds, 0.5);
+  EXPECT_EQ(config.overflow, OverflowPolicy::kDegrade);
+  EXPECT_EQ(config.quarantine_dir, "/tmp/cli-q");
+  EXPECT_EQ(config.admission.max_batch_mutations, 777u);
+  EXPECT_EQ(config.max_pending_batches, 16u);
+
+  // And the remaining sentinel surface overrides too.
+  ::setenv("GRAPHBOLT_QUARANTINE_DIR", "/tmp/env-q", 1);
+  ::setenv("GRAPHBOLT_MAX_BATCH_EDGES", "888", 1);
+  ::setenv("GRAPHBOLT_MAX_PENDING_BATCHES", "32", 1);
+  ASSERT_TRUE(config.FromEnv(&error)) << error;
+  EXPECT_EQ(config.quarantine_dir, "/tmp/env-q");
+  EXPECT_EQ(config.admission.max_batch_mutations, 888u);
+  EXPECT_EQ(config.max_pending_batches, 32u);
+
+  // GRAPHBOLT_WATCHDOG_MS=0 is an explicit off switch, not "unset".
+  ::setenv("GRAPHBOLT_WATCHDOG_MS", "0", 1);
+  ASSERT_TRUE(config.FromEnv(&error)) << error;
+  EXPECT_DOUBLE_EQ(config.watchdog_stall_seconds, 0.0);
 }
 
 // ----- Session quotas -------------------------------------------------------

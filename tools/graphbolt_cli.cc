@@ -22,10 +22,13 @@
 // the protocol, so recovery of a sharded run goes through the same cold
 // unsharded path.
 //
-// The sentinel layer (docs/INTERNALS.md §11) is armed by --quarantine-dir
-// (admission control + dead-letter WAL; tune with --max-batch-edges, demo
-// with --poison-batches), --watchdog-ms (stall watchdog; unsharded only),
-// and the --overflow family (shed-oldest | degrade are unsharded-only).
+// The sentinel layer (docs/INTERNALS.md §11-§12) is armed by
+// --quarantine-dir (admission control + dead-letter WAL; tune with
+// --max-batch-edges, demo with --poison-batches), --watchdog-ms (stall
+// watchdog), and the --overflow family. All of it works on both driver
+// shapes: under --shards N the watchdog heartbeats per lane, the shed
+// policies divert to the shared sequence-tagged shed log, and degrade
+// coordinates stale reads across lanes.
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -259,6 +262,10 @@ template <typename Engine, typename MakeEngine>
 int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
                         StreamSplit& split, const CliConfig& config) {
   const bool durable = !config.driver.checkpoint_dir.empty();
+  const bool sentinel = !config.driver.quarantine_dir.empty() ||
+                        config.driver.watchdog_stall_seconds > 0.0 ||
+                        config.driver.overflow == OverflowPolicy::kShedOldest ||
+                        config.driver.overflow == OverflowPolicy::kDegrade;
 
   Timer total;
   engine.InitialCompute();
@@ -317,6 +324,20 @@ int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& 
                 static_cast<unsigned long long>(stats.sessions_opened));
     if (durable) {
       PrintDurability(stats, config.driver);
+    }
+    if (sentinel) {
+      std::printf(
+          "sentinel: %llu quarantined batches (%llu mutations), %llu shed-oldest evictions, "
+          "%llu degraded entries / %llu degraded queries, %llu stalls / %llu auto-recoveries, "
+          "apply EWMA %.2f ms\n",
+          static_cast<unsigned long long>(stats.batches_quarantined),
+          static_cast<unsigned long long>(stats.mutations_quarantined),
+          static_cast<unsigned long long>(stats.shed_oldest_evictions),
+          static_cast<unsigned long long>(stats.degraded_entries),
+          static_cast<unsigned long long>(stats.degraded_queries),
+          static_cast<unsigned long long>(stats.stalls_detected),
+          static_cast<unsigned long long>(stats.watchdog_recoveries),
+          stats.apply_ewma_seconds * 1e3);
     }
   }
   std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",
