@@ -1,5 +1,7 @@
 // Driver ingestion throughput: batch-size sweep on the single-lane
-// StreamDriver, then a shard-count sweep on the ShardedDriver.
+// StreamDriver, a shard-count sweep on the ShardedDriver, and the
+// single-update serving-latency sweep (fast path vs. batch-size-1
+// flush-to-barrier).
 //
 // Not a paper table: the paper's harness hand-feeds pre-built batches, so
 // this measures what the driver subsystem adds — the rate at which
@@ -11,7 +13,13 @@
 // sweep (1/2/4/8 lanes, one producer session per lane) measures what lane
 // parallelism buys when staging is concurrent but promotion still
 // serializes on the one BSP engine; it emits BENCH_shard_scaling.json for
-// tools/bench_diff.py to compare against the committed trajectory.
+// tools/bench_diff.py to compare against the committed trajectory. The
+// latency sweep streams provably-safe single-edge mutations through
+// IngestFast (splice in place, no barrier) and through the batched path at
+// batch size 1 (Ingest + Flush + PrepQuery), reporting p50/p99
+// update→queryable latency per algorithm; it emits
+// BENCH_fastpath_latency.json for the same trajectory guard.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -19,8 +27,10 @@
 
 #include "bench/harness.h"
 #include "src/algorithms/pagerank.h"
+#include "src/algorithms/sssp.h"
 #include "src/core/graphbolt_engine.h"
 #include "src/driver/stream_driver.h"
+#include "src/kickstarter/kickstarter_engine.h"
 #include "src/shard/driver_config.h"
 #include "src/shard/sharded_driver.h"
 #include "src/util/timer.h"
@@ -136,6 +146,225 @@ ShardRow RunSharded(const StreamSplit& split, size_t shards) {
   return row;
 }
 
+// ----- Single-update serving latency (fast path vs. batch size 1) -----------
+
+struct LatencyRow {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  uint64_t safe_applied = 0;
+  uint64_t escalated = 0;
+};
+
+double PercentileUs(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+// Measures update→queryable latency for `updates` single mutations drawn
+// round-robin from `safe_updates` (crafted so the engine classifies every
+// one of them safe). `fast` routes through IngestFast — the splice itself
+// is the queryability point, no barrier. Otherwise each mutation pays the
+// full batched pipeline at batch size 1: Ingest (which flushes the
+// one-mutation gutter) + PrepQuery (the barrier that makes it queryable).
+template <StreamingEngine Engine>
+LatencyRow MeasureLatency(Engine& engine, const std::vector<EdgeMutation>& safe_updates,
+                          size_t updates, bool fast) {
+  engine.InitialCompute();
+  StreamDriver<Engine> driver(&engine, {.batch_size = fast ? (1u << 20) : 1,
+                                        .flush_interval_seconds = 3600.0,
+                                        .fast_path = fast});
+  // Untimed warmup: fault in the claim stripes, the gutter, and the pool
+  // threads so the timed distribution measures the steady state, not
+  // first-touch costs.
+  constexpr size_t kWarmup = 256;
+  for (size_t i = 0; i < kWarmup; ++i) {
+    const EdgeMutation& m = safe_updates[i % safe_updates.size()];
+    if (fast) {
+      driver.IngestFast(m);
+    } else {
+      driver.Ingest(m);
+      driver.PrepQuery();
+    }
+  }
+  // Three timed repetitions, keeping the one with the lowest p99: on a
+  // shared box, scheduler spikes land in the 1% tail of a
+  // microsecond-scale distribution easily, and min-of-N measures the code
+  // rather than the machine. The trajectory guard additionally enforces the
+  // batched/fast *ratio* (see the "advantage" rows), where common-mode
+  // load cancels out.
+  constexpr int kReps = 3;
+  LatencyRow row;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(updates);
+  for (int rep = 0; rep < kReps; ++rep) {
+    latencies_us.clear();
+    double total_us = 0.0;
+    for (size_t i = 0; i < updates; ++i) {
+      const EdgeMutation& m = safe_updates[i % safe_updates.size()];
+      Timer t;
+      if (fast) {
+        driver.IngestFast(m);
+      } else {
+        driver.Ingest(m);
+        driver.PrepQuery();
+      }
+      const double us = t.Seconds() * 1e6;
+      latencies_us.push_back(us);
+      total_us += us;
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p99 = PercentileUs(latencies_us, 0.99);
+    if (rep == 0 || p99 < row.p99_us) {
+      row.p50_us = PercentileUs(latencies_us, 0.50);
+      row.p99_us = p99;
+      row.mean_us = total_us / static_cast<double>(updates);
+    }
+  }
+  driver.PrepQuery();
+  const EngineStats stats = driver.stats();
+  row.safe_applied = stats.fastpath_safe_applied;
+  row.escalated = stats.fastpath_unsafe_escalated;
+  return row;
+}
+
+// PageRank admits only graph no-ops on the fast path: re-adds of edges
+// already present (normalized to nothing, so the batched replay provably
+// skips Refine).
+std::vector<EdgeMutation> PageRankSafeUpdates(const StreamSplit& split, size_t count) {
+  std::vector<EdgeMutation> updates;
+  for (size_t i = 0; i < count && i < split.initial.edges().size(); ++i) {
+    const Edge& e = split.initial.edges()[i];
+    updates.push_back(EdgeMutation::Add(e.src, e.dst, e.weight));
+  }
+  return updates;
+}
+
+// For the SSSP-family engines a real splice is provable: alternately add
+// and delete one far-overweight edge into a vertex adjacent to the source.
+// The 1e6 relaxation can never beat (or attain) the target's aggregate at
+// any tracked level, so both directions classify safe while still paying
+// the full adjacency splice.
+std::vector<EdgeMutation> HeavyEdgeSafeUpdates(const MutableGraph& graph, VertexId source) {
+  const auto nbrs = graph.OutNeighbors(source);
+  const VertexId dst = nbrs.empty() ? source + 1 : nbrs[0];
+  VertexId src = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    if (u != source && u != dst && !graph.HasEdge(u, dst)) {
+      src = u;
+      break;
+    }
+  }
+  return {EdgeMutation::Add(src, dst, 1e6f), EdgeMutation::Delete(src, dst)};
+}
+
+void RunLatencySweep(BenchJson& json) {
+  PrintHeader(
+      "Single-update serving latency: provably-safe single-edge mutations\n"
+      "through the fast path (classify + splice in place, no barrier) vs.\n"
+      "the batched pipeline at batch size 1 (Ingest + flush + PrepQuery\n"
+      "barrier). p50/p99 are update→queryable, in microseconds.");
+
+  constexpr size_t kFastUpdates = 8192;
+  constexpr size_t kBatchedUpdates = 256;
+  std::printf("\n%12s %8s %10s %10s %10s %10s %10s\n", "algo", "mode", "updates", "p50(us)",
+              "p99(us)", "mean(us)", "escalated");
+
+  struct Emit {
+    const char* algo;
+    const char* mode;
+    size_t updates;
+    LatencyRow row;
+  };
+  std::vector<Emit> emits;
+
+  {
+    const StreamSplit split = MakeStream(kWiki);
+    const std::vector<EdgeMutation> safe = PageRankSafeUpdates(split, 512);
+    MutableGraph g_fast(split.initial);
+    GraphBoltEngine<PageRank> fast_engine(&g_fast, PageRank(0.85, kBenchTolerance));
+    emits.push_back({"pagerank", "fast", kFastUpdates,
+                     MeasureLatency(fast_engine, safe, kFastUpdates, /*fast=*/true)});
+    MutableGraph g_batched(split.initial);
+    GraphBoltEngine<PageRank> batched_engine(&g_batched, PageRank(0.85, kBenchTolerance));
+    emits.push_back({"pagerank", "batched", kBatchedUpdates,
+                     MeasureLatency(batched_engine, safe, kBatchedUpdates, /*fast=*/false)});
+  }
+  {
+    const StreamSplit split = MakeStream(kWiki, /*weighted=*/true);
+    MutableGraph g_fast(split.initial);
+    const std::vector<EdgeMutation> safe = HeavyEdgeSafeUpdates(g_fast, 0);
+    GraphBoltEngine<Sssp> fast_engine(&g_fast, Sssp(0),
+                                      {.max_iterations = 128, .run_to_convergence = true});
+    emits.push_back({"sssp", "fast", kFastUpdates,
+                     MeasureLatency(fast_engine, safe, kFastUpdates, /*fast=*/true)});
+    MutableGraph g_batched(split.initial);
+    GraphBoltEngine<Sssp> batched_engine(&g_batched, Sssp(0),
+                                         {.max_iterations = 128, .run_to_convergence = true});
+    emits.push_back({"sssp", "batched", kBatchedUpdates,
+                     MeasureLatency(batched_engine, safe, kBatchedUpdates, /*fast=*/false)});
+  }
+  {
+    const StreamSplit split = MakeStream(kWiki, /*weighted=*/true);
+    MutableGraph g_fast(split.initial);
+    const std::vector<EdgeMutation> safe = HeavyEdgeSafeUpdates(g_fast, 0);
+    KickStarterEngine<KsSsspTraits> fast_engine(&g_fast, KsSsspTraits(0));
+    emits.push_back({"kickstarter", "fast", kFastUpdates,
+                     MeasureLatency(fast_engine, safe, kFastUpdates, /*fast=*/true)});
+    MutableGraph g_batched(split.initial);
+    KickStarterEngine<KsSsspTraits> batched_engine(&g_batched, KsSsspTraits(0));
+    emits.push_back({"kickstarter", "batched", kBatchedUpdates,
+                     MeasureLatency(batched_engine, safe, kBatchedUpdates, /*fast=*/false)});
+  }
+
+  for (const Emit& e : emits) {
+    std::printf("%12s %8s %10zu %10.2f %10.2f %10.2f %10llu\n", e.algo, e.mode, e.updates,
+                e.row.p50_us, e.row.p99_us, e.row.mean_us,
+                static_cast<unsigned long long>(e.row.escalated));
+    json.Row()
+        .Str("graph", kWiki.name)
+        .Str("algo", e.algo)
+        .Str("mode", e.mode)
+        .Num("updates", static_cast<double>(e.updates))
+        .Num("p50_us", e.row.p50_us)
+        .Num("p99_us", e.row.p99_us)
+        .Num("mean_us", e.row.mean_us)
+        .Num("safe_applied", static_cast<double>(e.row.safe_applied))
+        .Num("escalated", static_cast<double>(e.row.escalated));
+  }
+  // One enforced row per algorithm: bench_diff.py infers metric direction
+  // from key names, and the raw `*_us` keys deliberately match no marker
+  // (absolute microseconds swing with machine load — informational only).
+  // The `*_speedup` ratios are higher-is-better and common-mode noise
+  // cancels between the two modes, so the trajectory guard pins those.
+  for (size_t i = 0; i + 1 < emits.size(); i += 2) {
+    const LatencyRow& fast_row = emits[i].row;
+    const LatencyRow& batched_row = emits[i + 1].row;
+    const double p50_speedup =
+        fast_row.p50_us > 0.0 ? batched_row.p50_us / fast_row.p50_us : 0.0;
+    const double p99_speedup =
+        fast_row.p99_us > 0.0 ? batched_row.p99_us / fast_row.p99_us : 0.0;
+    std::printf("%12s p99 fast-path advantage: %.0fx (p50: %.0fx)\n", emits[i].algo,
+                p99_speedup, p50_speedup);
+    json.Row()
+        .Str("graph", kWiki.name)
+        .Str("algo", emits[i].algo)
+        .Str("mode", "advantage")
+        .Num("p50_speedup", p50_speedup)
+        .Num("p99_speedup", p99_speedup);
+  }
+  std::printf(
+      "\nExpected shape: the fast path classifies against the dependency\n"
+      "store and splices under the journal lock only — microseconds, flat\n"
+      "across algorithms. The batched path at batch size 1 pays the queue\n"
+      "handoff plus a full refinement barrier per update — the fast path's\n"
+      "p99 should sit >=10x below it. 'escalated' must be 0 in fast mode:\n"
+      "these workloads are crafted to be provably safe.\n");
+}
+
 void Run() {
   PrintHeader(
       "StreamDriver throughput: single-producer Ingest() of the held-back\n"
@@ -193,6 +422,13 @@ void Run() {
       "core the sweep mainly buys ingest-side isolation, not speedup.\n"
       "Cross-shard counts mutations whose endpoints live on different\n"
       "lanes — routed once, by source, never duplicated.\n");
+
+  BenchJson latency_json("fastpath_latency");
+  RunLatencySweep(latency_json);
+  const std::string latency_path = latency_json.DefaultPath();
+  std::printf("\n%s\n", latency_json.WriteFile(latency_path)
+                            ? ("wrote " + latency_path).c_str()
+                            : ("FAILED to write " + latency_path).c_str());
 }
 
 }  // namespace

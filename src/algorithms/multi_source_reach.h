@@ -30,6 +30,7 @@ class MultiSourceReach {
 
   static constexpr AggregationKind kKind = AggregationKind::kNonDecomposable;
   static constexpr bool kMonotonic = true;  // additions only set more bits
+  static constexpr bool kContextFree = true;  // the reach mask ignores degrees
 
   explicit MultiSourceReach(std::vector<VertexId> sources, VertexId num_vertices)
       : seed_masks_(std::make_shared<std::vector<uint64_t>>(num_vertices, 0)) {

@@ -29,6 +29,7 @@ class Sssp {
 
   static constexpr AggregationKind kKind = AggregationKind::kNonDecomposable;
   static constexpr bool kMonotonic = true;
+  static constexpr bool kContextFree = true;  // candidate = value + w, degree-blind
 
   explicit Sssp(VertexId source) : source_(source) {}
 
@@ -70,6 +71,7 @@ class Bfs {
 
   static constexpr AggregationKind kKind = AggregationKind::kNonDecomposable;
   static constexpr bool kMonotonic = true;
+  static constexpr bool kContextFree = true;  // candidate = value + 1, degree-blind
 
   explicit Bfs(VertexId source) : source_(source) {}
 

@@ -72,6 +72,23 @@ constexpr bool IsMonotonicAggregation() {
   }
 }
 
+// Optional marker: the algorithm's InitialValue / ContributionOf /
+// VertexCompute ignore the VertexContext entirely (path algorithms: the
+// candidate through an edge is a function of the source value and the edge
+// weight alone). The single-update fast path (src/driver/fast_path.h)
+// requires this to prove that the degree shift caused by an edge mutation
+// cannot move any contribution; without the marker every real mutation is
+// conservatively unsafe for context-dependent algorithms like PageRank,
+// whose per-edge contribution divides by the (now changed) out-degree.
+template <typename A>
+constexpr bool IsContextFreeAlgorithm() {
+  if constexpr (requires { A::kContextFree; }) {
+    return A::kContextFree;
+  } else {
+    return false;
+  }
+}
+
 // The compile-time contract every algorithm satisfies. Engines are
 // templates over `Algo`; this concept documents and enforces the surface.
 template <typename A>

@@ -34,15 +34,18 @@
 #define SRC_CORE_GRAPHBOLT_ENGINE_H_
 
 #include <atomic>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/algorithm.h"
 #include "src/core/dependency_store.h"
+#include "src/core/streaming_engine.h"
 #include "src/engine/reset_engine.h"  // HasDeltaContribution
 #include "src/engine/stats.h"
 #include "src/engine/vertex_subset.h"
@@ -232,9 +235,137 @@ class GraphBoltEngine {
   // background-compaction maintenance between batches.
   MutableGraph* mutable_graph() { return graph_; }
 
+  // ----- Single-update fast path (src/driver/fast_path.h) -------------------
+  // Classifies one mutation against the dependency store. Safe means the
+  // batched ApplyMutations path would provably leave values_ and the store
+  // bitwise unchanged — the mutation's whole effect is the graph splice —
+  // so WAL replay through the batched path during Recover() reconstructs
+  // exactly the live state.
+  //
+  // Rules:
+  //  - Graph no-ops (duplicate add, absent delete, self-loop) are safe for
+  //    every algorithm: ApplyMutations on an empty normalized effect skips
+  //    Refine entirely.
+  //  - Real mutations are provable only for monotonic pull-based
+  //    context-free algorithms (SSSP/BFS/CC/widest/reach). An addition is
+  //    safe when its candidate contribution cannot improve the target's
+  //    aggregation at any tracked level of the dependency store (min/max
+  //    absorbs it without moving a bit); a deletion is safe when its
+  //    contribution is strictly dominated at every level (removing a
+  //    non-attaining input leaves each re-evaluated min unchanged).
+  //  - Decomposable algorithms (PageRank): a real edge change shifts the
+  //    endpoint's degree context, which moves its contribution along every
+  //    incident edge, so only graph no-ops are safe.
+  FastPathVerdict ClassifyFast(const EdgeMutation& m) const {
+    const VertexId n = graph_->num_vertices();
+    if (m.src >= n || m.dst >= n) {
+      return {false, "grows-vertex-set"};
+    }
+    if (values_.size() != n) {
+      return {false, "not-computed"};
+    }
+    const MutableGraph::SingleEffect eff = graph_->NormalizeSingle(m);
+    if (eff.Empty()) {
+      return {true, "graph-noop"};
+    }
+    if constexpr (!kPullBased) {
+      return {false, "context-shift-moves-contributions"};
+    } else if constexpr (!IsMonotonicAggregation<Algo>() || !IsContextFreeAlgorithm<Algo>()) {
+      return {false, "algorithm-not-provable"};
+    } else {
+      if (options_.reset_fallback_fraction > 0.0) {
+        return {false, "reset-fallback-configured"};
+      }
+      const uint32_t tracked = store_.tracked_levels();
+      if (tracked == 0 || tracked != store_.total_levels()) {
+        // Pruned history would hand the replay to the hybrid continuation,
+        // whose intermediate aggregations are not stored and so not provable.
+        return {false, "pruned-history"};
+      }
+      if (options_.run_to_convergence && store_.ChangedAt(tracked).Count() > 0) {
+        return {false, "still-converging"};
+      }
+      // The refined replay rewrites the endpoints' final values from the
+      // last tracked level; require that rewrite to be a bitwise no-op.
+      auto final_consistent = [&](VertexId v) {
+        return SameBits(values_[v],
+                        algo_.VertexCompute(v, store_.At(tracked, v), contexts_[v]));
+      };
+      // c_{level-1}(src) as the refined run sees it entering `level`.
+      auto value_entering = [&](uint32_t level, VertexId u) {
+        return level == 1 ? algo_.InitialValue(u, contexts_[u])
+                          : algo_.VertexCompute(u, store_.At(level - 1, u), contexts_[u]);
+      };
+      if (eff.has_add) {
+        const Edge& e = eff.added;
+        if (!final_consistent(e.src) || !final_consistent(e.dst)) {
+          return {false, "stale-final-value"};
+        }
+        for (uint32_t level = 1; level <= tracked; ++level) {
+          const auto cand =
+              algo_.ContributionOf(e.src, value_entering(level, e.src), e.weight,
+                                   contexts_[e.src]);
+          const Aggregate& cur = store_.At(level, e.dst);
+          Aggregate probe = cur;
+          algo_.AggregateAtomic(&probe, cand);
+          if (!SameBits(probe, cur)) {
+            return {false, "relaxes-tracked-level"};
+          }
+        }
+      }
+      if (eff.has_delete) {
+        const Edge& e = eff.deleted;
+        if constexpr (!std::is_same_v<typename Algo::Contribution, Aggregate>) {
+          return {false, "deletion-not-provable"};
+        } else {
+          if (!final_consistent(e.src) || !final_consistent(e.dst)) {
+            return {false, "stale-final-value"};
+          }
+          for (uint32_t level = 1; level <= tracked; ++level) {
+            const Aggregate cand =
+                algo_.ContributionOf(e.src, value_entering(level, e.src), e.weight,
+                                     contexts_[e.src]);
+            const Aggregate& cur = store_.At(level, e.dst);
+            Aggregate probe = cur;
+            algo_.AggregateAtomic(&probe, cand);
+            // Dominating (shouldn't happen for a present edge) or attaining
+            // the aggregate: the edge is load-bearing, escalate.
+            if (!SameBits(probe, cur) || SameBits(cand, cur)) {
+              return {false, "attains-aggregate"};
+            }
+          }
+        }
+      }
+      return {true, eff.has_delete ? "dominated-contribution" : "cannot-relax"};
+    }
+  }
+
+  // Applies a mutation previously classified safe as a bare graph splice.
+  // Re-validates first (the caller serializes this against batched applies,
+  // but classification may have run before an intervening batch); returns
+  // false to send the mutation down the batched path instead. Leaves
+  // contexts_ untouched: the next batched Refine recomputes them and treats
+  // the endpoints as context-changed, which is value-preserving for the
+  // context-free algorithms real mutations are classified safe under.
+  bool ApplyFastSafe(const EdgeMutation& m) {
+    if (!ClassifyFast(m).safe) {
+      return false;
+    }
+    graph_->ApplySingle(m);
+    return true;
+  }
+
  private:
   static constexpr bool kPullBased = Algo::kKind == AggregationKind::kNonDecomposable;
   static constexpr uint64_t kStateMagic = 0x47424f4c54535431ULL;  // "GBOLTST1"
+
+  // Bitwise equality — the fast path's safety contract is stated in bits,
+  // not tolerances, so recovery replay stays exact.
+  template <typename T>
+  static bool SameBits(const T& a, const T& b) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return std::memcmp(&a, &b, sizeof(T)) == 0;
+  }
 
   struct FrontierEntry {
     VertexId v;

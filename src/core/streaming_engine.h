@@ -78,6 +78,18 @@ concept CheckpointableEngine =
       { engine.LoadStateFrom(in) } -> std::same_as<bool>;
     };
 
+// Verdict of the single-update safety classification (the RisGraph-style
+// fast path, src/driver/fast_path.h). A mutation is *safe* when the engine
+// can prove that applying it through the batched ApplyMutations path would
+// leave the engine's computed state (values, dependency store / dependence
+// tree) bitwise unchanged — so the update reduces to a bare graph splice
+// that can bypass gutter batching. `reason` names the rule that fired
+// (static string; for stats, tests, and operator diagnostics).
+struct FastPathVerdict {
+  bool safe = false;
+  const char* reason = "";
+};
+
 // The per-vertex value type an engine computes, as seen through values().
 template <typename E>
 using EngineValueT = std::remove_cvref_t<decltype(std::declval<const E&>().values()[0])>;

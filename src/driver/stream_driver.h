@@ -89,6 +89,7 @@
 
 #include "src/core/streaming_engine.h"
 #include "src/graph/mutable_graph.h"
+#include "src/driver/fast_path.h"
 #include "src/driver/gutter_buffer.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
@@ -107,6 +108,12 @@ namespace graphbolt {
 // StreamDriver::Options::background_compaction.
 inline bool DefaultBackgroundCompaction() {
   const char* env = std::getenv("GRAPHBOLT_BG_COMPACTION");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+// The GRAPHBOLT_FAST_PATH=1 default for StreamDriver::Options::fast_path.
+inline bool DefaultFastPath() {
+  const char* env = std::getenv("GRAPHBOLT_FAST_PATH");
   return env != nullptr && env[0] == '1' && env[1] == '\0';
 }
 
@@ -183,6 +190,13 @@ class StreamDriver {
     // On a detected stall, drive Recover() automatically (needs a
     // checkpointer); otherwise the driver only reports unhealthy.
     bool watchdog_auto_recover = true;
+
+    // ----- Single-update fast path (src/driver/fast_path.h) ---------------
+    // Enables IngestFast(): single mutations the engine classifies safe
+    // bypass gutter batching and splice in place (journaled, per-vertex
+    // claims, no engine lock); unsafe ones escalate into the gutter as a
+    // refinement micro-batch. With this false, IngestFast == Ingest.
+    bool fast_path = DefaultFastPath();
   };
 
   // The engine must outlive the driver and already hold the initial
@@ -250,6 +264,79 @@ class StreamDriver {
       FlushLocked(lock);
     }
     return true;
+  }
+
+  // Single-update fast path (Options::fast_path; see src/driver/fast_path.h
+  // and INTERNALS §13). Screens the mutation like Ingest, then asks the
+  // engine to classify it against its dependency state:
+  //
+  //   safe    journaled at the next applied sequence number and spliced into
+  //           the graph in place — no gutter, no flush, no barrier, and no
+  //           engine_mu_: the apply serializes through journal_mu_ (against
+  //           batched applies, maintenance, and checkpoints) plus per-vertex
+  //           claims, and flips the fast-path epoch around the splice.
+  //   unsafe  escalated into the gutter as a refinement micro-batch via the
+  //           normal Ingest path (counted fastpath_unsafe_escalated).
+  //
+  // When the journal mutex is contended (a batched apply or maintenance pass
+  // is in flight) the mutation escalates rather than blocking: the fast path
+  // never waits on batch-scale work. With fast_path disabled or an engine
+  // that cannot classify, this is exactly Ingest. Returns false only when
+  // the mutation was rejected (quarantined or not accepting).
+  bool IngestFast(const EdgeMutation& mutation) {
+    if constexpr (!FastPathEngine<Engine>) {
+      return Ingest(mutation);
+    } else {
+      if (!options_.fast_path) {
+        return Ingest(mutation);
+      }
+      if (quarantine_ != nullptr) {
+        const AdmissionVerdict verdict = ScreenMutation(mutation, options_.admission);
+        if (!verdict.admitted()) {
+          QuarantineReject(verdict.reason, MutationBatch{mutation});
+          return false;
+        }
+      }
+      {
+        VertexClaims::Guard guard(&claims_, mutation.src, mutation.dst);
+        std::unique_lock<std::mutex> journal(journal_mu_, std::try_to_lock);
+        if (journal.owns_lock() && engine_->ClassifyFast(mutation).safe) {
+          // Admission bookkeeping before the point of no return: once the
+          // WAL record lands the mutation is part of the admitted stream.
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!accepting_) {
+              ++stats_.mutations_dropped;
+              return false;
+            }
+            ++stats_.mutations_enqueued;
+          }
+          ++applied_seq_;
+          bool journaled = true;
+          if (checkpointer_ != nullptr) {
+            journaled = checkpointer_->AppendWal(applied_seq_, MutationBatch{mutation});
+          }
+          epoch_.BeginApply();
+          const bool applied = engine_->ApplyFastSafe(mutation);
+          epoch_.EndApply();
+          // journal_mu_ excluded every writer between ClassifyFast and the
+          // re-validation inside ApplyFastSafe, so the verdict cannot flip.
+          GB_CHECK(applied) << "fast-path re-validation failed under the journal lock";
+          if (checkpointer_ != nullptr && !journaled) {
+            // The WAL record was lost (injected fault): force a checkpoint
+            // so recovery still covers this splice. Engine state cannot
+            // move while we hold journal_mu_.
+            if constexpr (CheckpointableEngine<Engine>) {
+              checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/true);
+            }
+          }
+          fast_counters_.safe_applied.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      fast_counters_.unsafe_escalated.fetch_add(1, std::memory_order_relaxed);
+      return Ingest(mutation);
+    }
   }
 
   // Ingests a pre-built batch mutation by mutation (flush boundaries still
@@ -338,7 +425,16 @@ class StreamDriver {
   std::vector<Value> QuerySnapshot() {
     PrepQuery();
     std::lock_guard<std::mutex> engine_lock(engine_mu_);
-    return engine_->values();
+    // Seqlock against in-flight fast-path splices: safe applies leave the
+    // value vector bitwise unchanged, but the epoch check makes the
+    // prefix-consistency argument local instead of relying on that proof.
+    for (;;) {
+      const uint64_t epoch = epoch_.ReadStable();
+      std::vector<Value> snapshot = engine_->values();
+      if (epoch_.Validate(epoch)) {
+        return snapshot;
+      }
+    }
   }
 
   // Cumulative driver statistics (see stats.h: engine fields are summed
@@ -355,6 +451,10 @@ class StreamDriver {
     if (checkpointer_ != nullptr) {
       checkpointer_->MergeStats(&snapshot);
     }
+    snapshot.fastpath_safe_applied = fast_counters_.safe_applied.load(std::memory_order_relaxed);
+    snapshot.fastpath_unsafe_escalated =
+        fast_counters_.unsafe_escalated.load(std::memory_order_relaxed);
+    snapshot.fastpath_epoch_flips = epoch_.flips();
     return snapshot;
   }
 
@@ -428,6 +528,7 @@ class StreamDriver {
       }
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      std::lock_guard<std::mutex> journal_lock(journal_mu_);
       return checkpointer_->WriteCheckpoint(applied_seq_);
     } else {
       return false;
@@ -478,23 +579,30 @@ class StreamDriver {
       uint64_t replayed_shed = 0;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
-        uint64_t ckpt_seq = 0;
-        restored = checkpointer_->RestoreLatest(&ckpt_seq);
-        if (restored) {
-          applied_seq_ = ckpt_seq;
-          // The tail was journaled with its final sequence numbers already:
-          // replay applies without re-journaling or cadence checkpoints.
-          replayed_wal = checkpointer_->ReplayWal(
-              ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
-                engine_->ApplyMutations(batch);
-                applied_seq_ = seq;
-              });
+        bool can_absorb = false;
+        {
+          // journal_mu_ fences out concurrent fast-path splices while the
+          // engine is rebuilt from disk (ApplyJournaled re-takes it below).
+          std::lock_guard<std::mutex> journal_lock(journal_mu_);
+          uint64_t ckpt_seq = 0;
+          restored = checkpointer_->RestoreLatest(&ckpt_seq);
+          if (restored) {
+            applied_seq_ = ckpt_seq;
+            // The tail was journaled with its final sequence numbers already:
+            // replay applies without re-journaling or cadence checkpoints.
+            replayed_wal = checkpointer_->ReplayWal(
+                ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
+                  engine_->ApplyMutations(batch);
+                  applied_seq_ = seq;
+                });
+          }
+          // Restored state — or live in-memory state left at a batch boundary
+          // by the kill — can absorb the not-yet-applied remainder. A cold
+          // start without any valid checkpoint cannot (the engine was never
+          // initialized), so the shed log stays parked for a later attempt.
+          can_absorb = restored || applied_seq_ > 0;
         }
-        // Restored state — or live in-memory state left at a batch boundary
-        // by the kill — can absorb the not-yet-applied remainder. A cold
-        // start without any valid checkpoint cannot (the engine was never
-        // initialized), so the shed log stays parked for a later attempt.
-        if (restored || applied_seq_ > 0) {
+        if (can_absorb) {
           for (TimedBatch& item : preserved) {
             ApplyJournaled(item.batch);
           }
@@ -505,6 +613,7 @@ class StreamDriver {
         if (restored) {
           // Fresh checkpoint at the recovered frontier: the next crash
           // recovers from here, and the superseded WAL prefix can compact.
+          std::lock_guard<std::mutex> journal_lock(journal_mu_);
           checkpointer_->WriteCheckpoint(applied_seq_);
         }
       }
@@ -867,6 +976,7 @@ class StreamDriver {
       {
         StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kMaintenance);
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);  // vs fast-path splices
         MutableGraph* graph = engine_->mutable_graph();
         graph->MaintenanceStep(options_.maintenance_budget_edges);
         compaction = graph->compaction_stats();
@@ -882,8 +992,10 @@ class StreamDriver {
 
   // Every engine apply funnels through here (worker batches, shed replay):
   // assign the next sequence number, journal write-ahead, apply, then
-  // checkpoint on cadence. Caller holds engine_mu_.
+  // checkpoint on cadence. Caller holds engine_mu_; journal_mu_ is taken
+  // here so fast-path splices interleave only at batch boundaries.
   void ApplyJournaled(const MutationBatch& batch) {
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
     ++applied_seq_;
     bool journaled = true;
     if (checkpointer_ != nullptr) {
@@ -997,10 +1109,21 @@ class StreamDriver {
   // Batches currently parked in the checkpointer's shed log.
   size_t shed_batches_ = 0;
 
-  std::mutex engine_mu_;  // held while the engine is applied or snapshotted;
-                          // also guards applied_seq_ and the WAL append order
+  std::mutex engine_mu_;  // held while the engine is applied or snapshotted
+  // Journal mutex, nested strictly *inside* engine_mu_ (never the reverse):
+  // serializes applied_seq_, the WAL append order, and every write to the
+  // engine/graph — batched applies (via ApplyJournaled), graph maintenance,
+  // checkpoint writes, recovery restore, and fast-path splices. The fast
+  // path takes only this mutex, never engine_mu_, which is what keeps safe
+  // single-update applies free of the engine lock.
+  std::mutex journal_mu_;
   uint64_t applied_seq_ = 0;
   std::mutex shed_replay_mu_;  // serializes ReplayShed calls
+
+  // Fast-path state (Options::fast_path; see src/driver/fast_path.h).
+  VertexClaims claims_;
+  FastPathEpoch epoch_;
+  FastPathCounters fast_counters_;
 
   BoundedQueue<TimedBatch> queue_;
   std::thread worker_;

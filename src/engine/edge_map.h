@@ -33,13 +33,21 @@ struct EdgeMapOptions {
   // or pull semantics).
   bool force_sparse = false;
   bool force_dense = false;
+  // The caller will consume the result through its dense view only (the
+  // next step is a pull / force_dense edgeMap): fuse FrontierBuilder's Take
+  // into the map by returning a dense-only subset — the O(universe) sparse
+  // pack is skipped and materializes lazily if members() is ever read.
+  // Pays off on force_dense chains; the auto direction chooser reads
+  // members() for its degree sum, which would un-fuse the savings.
+  bool dense_result = false;
 };
 
 // Sparse push: applies f to every out-edge of the frontier. `f` must be
 // safe to call concurrently; destinations where any call returns true form
 // the result (deduplicated).
 template <typename EdgeFunc>
-VertexSubset EdgeMapSparse(const MutableGraph& graph, const VertexSubset& frontier, EdgeFunc f) {
+VertexSubset EdgeMapSparse(const MutableGraph& graph, const VertexSubset& frontier, EdgeFunc f,
+                           bool dense_result = false) {
   FrontierBuilder next(graph.num_vertices());
   ParallelForChunks(0, frontier.size(), [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
@@ -53,14 +61,15 @@ VertexSubset EdgeMapSparse(const MutableGraph& graph, const VertexSubset& fronti
       }
     }
   }, /*grain=*/64);
-  return next.Take();
+  return dense_result ? next.TakeDense() : next.Take();
 }
 
 // Dense pull: for every vertex, applies f over in-edges whose source is in
 // the frontier. Each destination is owned by one task, so `f` calls for a
 // given destination are serialized (no atomics needed on the destination).
 template <typename EdgeFunc>
-VertexSubset EdgeMapDense(const MutableGraph& graph, const VertexSubset& frontier, EdgeFunc f) {
+VertexSubset EdgeMapDense(const MutableGraph& graph, const VertexSubset& frontier, EdgeFunc f,
+                          bool dense_result = false) {
   const AtomicBitset& members = frontier.Dense();
   FrontierBuilder next(graph.num_vertices());
   ParallelForChunks(0, graph.num_vertices(), [&](size_t lo, size_t hi) {
@@ -75,7 +84,7 @@ VertexSubset EdgeMapDense(const MutableGraph& graph, const VertexSubset& frontie
       }
     }
   }, /*grain=*/128);
-  return next.Take();
+  return dense_result ? next.TakeDense() : next.Take();
 }
 
 // Direction-optimized edgeMap.
@@ -83,10 +92,10 @@ template <typename EdgeFunc>
 VertexSubset EdgeMap(const MutableGraph& graph, const VertexSubset& frontier, EdgeFunc f,
                      const EdgeMapOptions& options = {}) {
   if (options.force_sparse) {
-    return EdgeMapSparse(graph, frontier, f);
+    return EdgeMapSparse(graph, frontier, f, options.dense_result);
   }
   if (options.force_dense) {
-    return EdgeMapDense(graph, frontier, f);
+    return EdgeMapDense(graph, frontier, f, options.dense_result);
   }
   // Frontier out-degree sum for the direction choice, in parallel — on
   // dense frontiers the serial sum was itself a full O(V) pass before any
@@ -97,9 +106,9 @@ VertexSubset EdgeMap(const MutableGraph& graph, const VertexSubset& frontier, Ed
       0, members.size(),
       [&](size_t i) { return static_cast<uint64_t>(graph.OutDegree(members[i])); });
   if (frontier_edges > graph.num_edges() / options.denseness_denominator) {
-    return EdgeMapDense(graph, frontier, f);
+    return EdgeMapDense(graph, frontier, f, options.dense_result);
   }
-  return EdgeMapSparse(graph, frontier, f);
+  return EdgeMapSparse(graph, frontier, f, options.dense_result);
 }
 
 // Applies f to every member of the subset; members where f returns true

@@ -139,6 +139,17 @@ struct EngineStats {
   uint64_t mutations_quota_rejected = 0;
   uint64_t batches_quota_rejected = 0;
 
+  // ----- Fast-path counters (populated when the single-update fast path is
+  // enabled; see src/driver/fast_path.h) ------------------------------------
+  // Mutations classified safe and applied in place, bypassing the gutter.
+  uint64_t fastpath_safe_applied = 0;
+  // Mutations classified unsafe and escalated into the gutter as a
+  // refinement micro-batch.
+  uint64_t fastpath_unsafe_escalated = 0;
+  // Fast-path epoch increments (one per safe apply); PrepQuery observes the
+  // epoch to keep served snapshots prefix-consistent with safe applies.
+  uint64_t fastpath_epoch_flips = 0;
+
   // ----- Adaptive apply (mirrored from MutableGraph by the drivers) --------
   // Batches whose normalized impact crossed the rebuild threshold and were
   // applied by a full arena rebuild instead of per-vertex splicing.

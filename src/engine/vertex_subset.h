@@ -43,19 +43,43 @@ class VertexSubset {
     return s;
   }
 
+  // A subset defined by its dense bitset alone (FrontierBuilder::TakeDense).
+  // `bits` must be sized to the universe and hold exactly `count` set bits.
+  // The sparse member list is materialized lazily on first members() access,
+  // so a consumer that only reads Dense() — a pull-direction edgeMap chain —
+  // never pays the O(universe) pack at all.
+  static VertexSubset FromDense(VertexId universe, const AtomicBitset& bits, size_t count) {
+    VertexSubset s(universe);
+    s.dense_ = bits;
+    s.dense_applied_ = 0;
+    s.dense_count_ = count;
+    s.sparse_valid_ = false;
+    return s;
+  }
+
   VertexId universe() const { return universe_; }
-  size_t size() const { return members_.size(); }
-  bool Empty() const { return members_.empty(); }
+  size_t size() const { return sparse_valid_ ? members_.size() : dense_count_; }
+  bool Empty() const { return size() == 0; }
 
-  const std::vector<VertexId>& members() const { return members_; }
+  const std::vector<VertexId>& members() const {
+    MaterializeSparse();
+    return members_;
+  }
 
-  void Add(VertexId v) { members_.push_back(v); }
+  void Add(VertexId v) {
+    MaterializeSparse();
+    members_.push_back(v);
+  }
 
   // Sorts and removes duplicate members. Dedup preserves the member *set*,
   // so a fully-built dense view stays valid; a partially-built one is
   // cleared by members (O(|subset|), not O(universe)) since index-based
-  // incremental bookkeeping does not survive the reorder.
+  // incremental bookkeeping does not survive the reorder. A dense-only
+  // subset is canonical already (a bitset cannot hold duplicates).
   void Normalize() {
+    if (!sparse_valid_) {
+      return;
+    }
     const bool dense_complete = dense_applied_ == members_.size() && dense_applied_ > 0;
     std::sort(members_.begin(), members_.end());
     members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
@@ -71,8 +95,12 @@ class VertexSubset {
 
   // Dense membership bitset, memoized: a second call on an unchanged subset
   // is O(1), and members added since the last call are applied
-  // incrementally rather than rebuilding from scratch.
+  // incrementally rather than rebuilding from scratch. On a dense-only
+  // subset the bitset is the authoritative view and returns immediately.
   const AtomicBitset& Dense() const {
+    if (!sparse_valid_) {
+      return dense_;
+    }
     if (dense_.size() != universe_) {
       dense_.Resize(universe_);
       dense_applied_ = 0;
@@ -94,10 +122,31 @@ class VertexSubset {
   }
 
  private:
+  // Packs the dense bitset into the sparse member vector (sorted by
+  // construction). The slow path of a dense-only subset; a no-op otherwise.
+  void MaterializeSparse() const {
+    if (sparse_valid_) {
+      return;
+    }
+    members_.clear();
+    members_.reserve(dense_count_);
+    for (VertexId v = 0; v < universe_; ++v) {
+      if (dense_.Test(v)) {
+        members_.push_back(v);
+      }
+    }
+    dense_applied_ = members_.size();
+    sparse_valid_ = true;
+  }
+
   VertexId universe_ = 0;
-  std::vector<VertexId> members_;
+  mutable std::vector<VertexId> members_;
   mutable AtomicBitset dense_;
   mutable size_t dense_applied_ = 0;  // members_[0..dense_applied_) are set in dense_
+  // False while the subset is dense-only: members_ is empty, dense_ is
+  // authoritative, and dense_count_ carries |subset|.
+  mutable bool sparse_valid_ = true;
+  size_t dense_count_ = 0;
 };
 
 // Process-wide free list of claim bitsets for FrontierBuilder. EdgeMap /
@@ -227,6 +276,16 @@ class FrontierBuilder {
     VertexSubset subset = VertexSubset::FromSorted(universe_, std::move(members));
     subset.AdoptDense(claimed_);
     return subset;
+  }
+
+  // Dense-only Take: copies the claim bitset as the subset's authoritative
+  // view (an O(universe/64) word copy plus popcount) and skips the
+  // O(universe) per-bit sparse pack entirely. For consumers that read the
+  // result only through Dense() — the next step of a pull-direction edgeMap
+  // chain (EdgeMapOptions::dense_result); members() still works on the
+  // result, materializing lazily.
+  VertexSubset TakeDense() const {
+    return VertexSubset::FromDense(universe_, claimed_, claimed_.Count());
   }
 
  private:

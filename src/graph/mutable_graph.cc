@@ -104,6 +104,89 @@ AppliedMutations MutableGraph::NormalizeBatch(const MutationBatch& batch) const 
   return result;
 }
 
+MutableGraph::SingleEffect MutableGraph::NormalizeSingle(const EdgeMutation& m) const {
+  SingleEffect eff;
+  if (m.src == m.dst) {
+    return eff;
+  }
+  const VertexId n = num_vertices();
+  const bool exists = m.src < n && m.dst < n && out_.HasEdge(m.src, m.dst);
+  switch (m.kind) {
+    case MutationKind::kAddEdge:
+      if (!exists) {
+        eff.has_add = true;
+        eff.added = {m.src, m.dst, m.weight};
+      }
+      break;
+    case MutationKind::kDeleteEdge:
+      if (exists) {
+        eff.has_delete = true;
+        eff.deleted = {m.src, m.dst, out_.EdgeWeight(m.src, m.dst)};
+      }
+      break;
+    case MutationKind::kUpdateWeight:
+      if (exists) {
+        const Weight old_weight = out_.EdgeWeight(m.src, m.dst);
+        if (old_weight != m.weight) {
+          eff.has_delete = true;
+          eff.deleted = {m.src, m.dst, old_weight};
+          eff.has_add = true;
+          eff.added = {m.src, m.dst, m.weight};
+        }
+      }
+      break;
+  }
+  return eff;
+}
+
+MutableGraph::SingleEffect MutableGraph::ApplySingle(const EdgeMutation& m) {
+  if (strategy_ == ApplyStrategy::kRebuild) {
+    // The rebuild reference path has no single-mutation shape; delegate so
+    // differential tests see identical arena states on both routes.
+    const AppliedMutations result = ApplyBatch(MutationBatch{m});
+    SingleEffect eff;
+    if (!result.added.empty()) {
+      eff.has_add = true;
+      eff.added = result.added.front();
+    }
+    if (!result.deleted.empty()) {
+      eff.has_delete = true;
+      eff.deleted = result.deleted.front();
+    }
+    return eff;
+  }
+  const VertexId max_vertex = std::max(m.src, m.dst);
+  if (max_vertex >= num_vertices()) {
+    AddVertices(max_vertex + 1 - num_vertices());
+  }
+  const SingleEffect eff = NormalizeSingle(m);
+  if (eff.Empty()) {
+    return eff;
+  }
+  // One touched vertex per view. The edit lists persist per thread so the
+  // hot path (safe IngestFast splices) runs allocation-free once warm.
+  static thread_local std::vector<SlackCsr::VertexEdits> out_edits(1);
+  static thread_local std::vector<SlackCsr::VertexEdits> in_edits(1);
+  const auto fill = [&eff](std::vector<SlackCsr::VertexEdits>& edits, VertexId key,
+                           VertexId target) {
+    SlackCsr::VertexEdits& ed = edits.front();
+    ed.vertex = key;
+    ed.deletes.clear();
+    ed.adds.clear();
+    if (eff.has_delete) {
+      ed.deletes.push_back(target);
+    }
+    if (eff.has_add) {
+      ed.adds.push_back({target, eff.added.weight});
+    }
+  };
+  fill(out_edits, m.src, m.dst);
+  fill(in_edits, m.dst, m.src);
+  out_.ApplyEdits(out_edits);
+  in_.ApplyEdits(in_edits);
+  return eff;
+}
+
 AppliedMutations MutableGraph::ApplyBatch(const MutationBatch& batch) {
   AppliedMutations result;
   if (batch.empty()) {

@@ -79,6 +79,25 @@ class MutableGraph {
   // Returns the normalized effect (see NormalizeBatch).
   AppliedMutations ApplyBatch(const MutationBatch& batch);
 
+  // Normalized effect of ONE mutation: at most one delete plus one add of
+  // the same endpoint pair (the weight-update lowering). Equivalent to
+  // NormalizeBatch({m}) but with no heap allocation — the single-update
+  // fast path classifies against this on every IngestFast call.
+  struct SingleEffect {
+    bool has_add = false;
+    bool has_delete = false;
+    Edge added{};    // valid iff has_add
+    Edge deleted{};  // valid iff has_delete
+    bool Empty() const { return !has_add && !has_delete; }
+  };
+  SingleEffect NormalizeSingle(const EdgeMutation& m) const;
+
+  // Applies one mutation with semantics identical to ApplyBatch({m}), but
+  // the splice scratch is thread-local and reused across calls, so the
+  // steady-state single-update fast path never touches the allocator.
+  // Returns the normalized effect (see NormalizeSingle).
+  SingleEffect ApplySingle(const EdgeMutation& m);
+
   // Exports all edges (sorted by (src, dst)); used by tests and snapshots.
   EdgeList ToEdgeList() const;
 

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/streaming_engine.h"
 #include "src/engine/stats.h"
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
@@ -211,6 +212,57 @@ class KickStarterEngine {
   // The graph this engine computes over; StreamDriver uses it to run
   // background-compaction maintenance between batches.
   MutableGraph* mutable_graph() { return graph_; }
+
+  // ----- Single-update fast path (src/driver/fast_path.h) -------------------
+  // Classifies one mutation against the tagged dependencies (the dependence
+  // tree). Safe means the batched ApplyMutations path would provably leave
+  // values_ and parent_ bitwise unchanged — a value-preserving addition
+  // (its Relax candidate does not beat the target's value, so step 4 never
+  // fires) or a non-tree deletion (parent_[dst] != src, so step 1 seeds no
+  // invalidation) — making the mutation's whole effect the graph splice.
+  // WAL replay through the batched path during Recover() then reconstructs
+  // exactly the live state.
+  FastPathVerdict ClassifyFast(const EdgeMutation& m) const {
+    const VertexId n = graph_->num_vertices();
+    if (m.src >= n || m.dst >= n) {
+      return {false, "grows-vertex-set"};
+    }
+    if (values_.size() != static_cast<size_t>(n)) {
+      return {false, "not-computed"};
+    }
+    const MutableGraph::SingleEffect eff = graph_->NormalizeSingle(m);
+    if (eff.Empty()) {
+      return {true, "graph-noop"};
+    }
+    if (eff.has_delete) {
+      const Edge& e = eff.deleted;
+      if (parent_[e.dst] == e.src) {
+        return {false, "tree-edge"};
+      }
+    }
+    if (eff.has_add) {
+      const Edge& e = eff.added;
+      if (traits_.Better(traits_.Relax(values_[e.src], e.weight), values_[e.dst])) {
+        return {false, "relaxes-target"};
+      }
+    }
+    if (eff.has_add && eff.has_delete) {
+      return {true, "value-preserving-reweight"};
+    }
+    return {true, eff.has_add ? "cannot-relax" : "non-tree-edge"};
+  }
+
+  // Applies a mutation previously classified safe as a bare graph splice.
+  // Re-validates first (the caller serializes this against batched applies,
+  // but classification may have run before an intervening batch); returns
+  // false to send the mutation down the batched path instead.
+  bool ApplyFastSafe(const EdgeMutation& m) {
+    if (!ClassifyFast(m).safe) {
+      return false;
+    }
+    graph_->ApplySingle(m);
+    return true;
+  }
 
  private:
   static constexpr uint64_t kStateMagic = 0x47424B5353543031ULL;  // "GBKSST01"

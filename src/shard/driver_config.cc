@@ -145,6 +145,8 @@ void DriverConfig::RegisterFlags(ArgParser& args) {
                "keep only the last mutation per (src,dst) within a flush");
   args.AddBool("bg-compaction", defaults.background_compaction,
                "reclaim arena slack in background maintenance steps");
+  args.AddBool("fast-path", defaults.fast_path,
+               "splice safe single updates in place, bypassing gutter batching");
   args.AddInt("maintenance-budget", static_cast<int64_t>(defaults.maintenance_budget_edges),
               "edge budget per background maintenance step");
   args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
@@ -194,6 +196,7 @@ bool DriverConfig::FromCli(const ArgParser& args, std::string* error) {
   }
   coalesce = args.GetBool("coalesce");
   background_compaction = args.GetBool("bg-compaction");
+  fast_path = args.GetBool("fast-path");
   const int64_t budget = args.GetInt("maintenance-budget");
   if (budget < 1) {
     *error = "--maintenance-budget must be >= 1 (got " + std::to_string(budget) + ")";
@@ -318,6 +321,16 @@ bool DriverConfig::FromEnv(std::string* error) {
           return false;
         }
         background_compaction = v == "1";
+        return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_FAST_PATH", error, [&](const std::string& v) {
+        *error = "expected 0 or 1";
+        if (v != "0" && v != "1") {
+          return false;
+        }
+        fast_path = v == "1";
         return true;
       })) {
     return false;

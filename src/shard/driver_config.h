@@ -67,6 +67,11 @@ struct DriverConfig {
   bool background_compaction = DefaultBackgroundCompaction();
   size_t maintenance_budget_edges = 1u << 16;
 
+  // ----- Single-update fast path ------------------------------------------
+  // Enables IngestFast: single mutations the engine classifies safe splice
+  // in place, bypassing gutter batching (src/driver/fast_path.h).
+  bool fast_path = DefaultFastPath();
+
   // ----- Durability -------------------------------------------------------
   // Non-empty arms WAL + cadence checkpoints (the caller still constructs
   // the Checkpointer; this carries the knobs to one place).
@@ -98,9 +103,10 @@ struct DriverConfig {
 
   // Registers the canonical driver flag surface on `args` (shards,
   // batch-size, flush-ms, max-pending-batches, overflow, coalesce,
-  // bg-compaction, maintenance-budget, checkpoint-dir, checkpoint-every,
-  // quarantine-dir, max-batch-edges, watchdog-ms, default-quota,
-  // tenant-quotas). Binaries add their own non-driver flags around it.
+  // bg-compaction, fast-path, maintenance-budget, checkpoint-dir,
+  // checkpoint-every, quarantine-dir, max-batch-edges, watchdog-ms,
+  // default-quota, tenant-quotas). Binaries add their own non-driver flags
+  // around it.
   static void RegisterFlags(ArgParser& args);
 
   // Reads the registered flags back into *this. Returns false with *error
@@ -110,7 +116,8 @@ struct DriverConfig {
   // Applies GRAPHBOLT_* environment overrides onto *this:
   //   GRAPHBOLT_SHARDS, GRAPHBOLT_BATCH_SIZE, GRAPHBOLT_FLUSH_MS,
   //   GRAPHBOLT_MAX_PENDING_BATCHES, GRAPHBOLT_OVERFLOW,
-  //   GRAPHBOLT_BG_COMPACTION, GRAPHBOLT_MAINTENANCE_BUDGET,
+  //   GRAPHBOLT_BG_COMPACTION, GRAPHBOLT_FAST_PATH,
+  //   GRAPHBOLT_MAINTENANCE_BUDGET,
   //   GRAPHBOLT_CHECKPOINT_DIR, GRAPHBOLT_CHECKPOINT_EVERY,
   //   GRAPHBOLT_QUARANTINE_DIR, GRAPHBOLT_MAX_BATCH_EDGES,
   //   GRAPHBOLT_WATCHDOG_MS, GRAPHBOLT_DEFAULT_QUOTA,
@@ -145,6 +152,7 @@ struct DriverConfig {
     options.fault_injector = fault_injector;
     options.background_compaction = background_compaction;
     options.maintenance_budget_edges = maintenance_budget_edges;
+    options.fast_path = fast_path;
     options.quarantine_dir = quarantine_dir;
     options.admission = admission;
     options.governor = governor;

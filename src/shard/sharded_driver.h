@@ -87,6 +87,7 @@
 #include <vector>
 
 #include "src/core/streaming_engine.h"
+#include "src/driver/fast_path.h"
 #include "src/driver/gutter_buffer.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
@@ -109,8 +110,10 @@ template <StreamingEngine Engine>
 class ShardedDriver {
  public:
   using Value = EngineValueT<Engine>;
-  // Called under the engine mutex immediately before each promotion, in
-  // global apply order: (owning lane, the batch as applied).
+  // Called under the journal serialization immediately before each
+  // promotion, in global apply order: (owning lane, the batch as applied).
+  // Shed replays report the pseudo-lane lanes_.size(); fast-path safe
+  // applies report lanes_.size() + 1 (they bypass the lanes entirely).
   using ApplyObserver = std::function<void(size_t lane, const MutationBatch& batch)>;
 
   // The producer handle: a movable, non-copyable capability to ingest as
@@ -141,6 +144,14 @@ class ShardedDriver {
     // stopped driver refused the mutation.
     bool Ingest(const EdgeMutation& mutation) {
       return driver_->IngestFor(state_, mutation);
+    }
+
+    // Single-update fast path (config.fast_path; see IngestFast on the
+    // driver): safe mutations splice in place past the lane gutters, unsafe
+    // ones escalate into the owning lane. Same quota and screening gates as
+    // Ingest.
+    bool IngestFast(const EdgeMutation& mutation) {
+      return driver_->IngestFastFor(state_, mutation);
     }
 
     // Whole-batch quota admission, then per-lane routing. Returns how many
@@ -254,6 +265,9 @@ class ShardedDriver {
   bool Ingest(const EdgeMutation& mutation) {
     return IngestFor(GetTenantState(std::string()), mutation);
   }
+  bool IngestFast(const EdgeMutation& mutation) {
+    return IngestFastFor(GetTenantState(std::string()), mutation);
+  }
   size_t IngestBatch(const MutationBatch& batch) {
     return IngestBatchFor(GetTenantState(std::string()), batch);
   }
@@ -333,7 +347,16 @@ class ShardedDriver {
   std::vector<Value> QuerySnapshot() {
     PrepQuery();
     std::lock_guard<std::mutex> engine_lock(engine_mu_);
-    return engine_->values();
+    // Seqlock against in-flight fast-path splices: safe applies leave the
+    // value vector bitwise unchanged, but the epoch check makes the
+    // prefix-consistency argument local instead of relying on that proof.
+    for (;;) {
+      const uint64_t epoch = epoch_.ReadStable();
+      std::vector<Value> snapshot = engine_->values();
+      if (epoch_.Validate(epoch)) {
+        return snapshot;
+      }
+    }
   }
 
   // Cumulative driver statistics; the shard block (shard_lanes,
@@ -353,6 +376,10 @@ class ShardedDriver {
     if (checkpointer_ != nullptr) {
       checkpointer_->MergeStats(&snapshot);
     }
+    snapshot.fastpath_safe_applied = fast_counters_.safe_applied.load(std::memory_order_relaxed);
+    snapshot.fastpath_unsafe_escalated =
+        fast_counters_.unsafe_escalated.load(std::memory_order_relaxed);
+    snapshot.fastpath_epoch_flips = epoch_.flips();
     return snapshot;
   }
 
@@ -386,6 +413,7 @@ class ShardedDriver {
   // the hook runs under the engine mutex, so keep it cheap.
   void set_apply_observer(ApplyObserver observer) {
     std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
     observer_ = std::move(observer);
   }
 
@@ -438,6 +466,7 @@ class ShardedDriver {
       }
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      std::lock_guard<std::mutex> journal_lock(journal_mu_);
       return checkpointer_->WriteCheckpoint(applied_seq_);
     } else {
       return false;
@@ -497,17 +526,24 @@ class ShardedDriver {
       uint64_t recovered_seq = 0;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
-        uint64_t ckpt_seq = 0;
-        restored = checkpointer_->RestoreLatest(&ckpt_seq);
-        if (restored) {
-          applied_seq_ = ckpt_seq;
-          replayed_wal = checkpointer_->ReplayWal(
-              ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
-                engine_->ApplyMutations(batch);
-                applied_seq_ = seq;
-              });
+        bool can_absorb = false;
+        {
+          // journal_mu_ fences out concurrent fast-path splices while the
+          // engine is rebuilt from disk (ApplyJournaled re-takes it below).
+          std::lock_guard<std::mutex> journal_lock(journal_mu_);
+          uint64_t ckpt_seq = 0;
+          restored = checkpointer_->RestoreLatest(&ckpt_seq);
+          if (restored) {
+            applied_seq_ = ckpt_seq;
+            replayed_wal = checkpointer_->ReplayWal(
+                ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
+                  engine_->ApplyMutations(batch);
+                  applied_seq_ = seq;
+                });
+          }
+          can_absorb = restored || applied_seq_ > 0;
         }
-        if (restored || applied_seq_ > 0) {
+        if (can_absorb) {
           // Preserved and shed batches are promoting for the FIRST time, so
           // the observer sees them (the WAL tail above is a re-promotion of
           // already-observed batches and stays silent) — an observer-recorded
@@ -517,25 +553,19 @@ class ShardedDriver {
             // Keep the lane's staging partition in step with its lineage
             // (the global engine is the recovery authority either way).
             lanes_[lane_index]->partition.ApplyBatch(item.batch);
-            if (observer_) {
-              observer_(lane_index, item.batch);
-            }
-            ApplyJournaled(item.batch);
+            ApplyJournaled(item.batch, lane_index);
           }
           applied_preserved = true;
-          replayed_shed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
-            if (observer_) {
-              observer_(lanes_.size(), batch);
-            }
-            ApplyJournaled(batch);
-          });
+          replayed_shed = checkpointer_->DrainShed(
+              [&](MutationBatch&& batch) { ApplyJournaled(batch, lanes_.size()); });
         }
+        // Snapshot for the log line below: once the lanes respawn they
+        // advance applied_seq_ under journal_mu_, which the logging no
+        // longer holds.
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
         if (restored) {
           checkpointer_->WriteCheckpoint(applied_seq_);
         }
-        // Snapshot for the log line below: once the lanes respawn they
-        // advance applied_seq_ under engine_mu_, which the logging no
-        // longer holds.
         recovered_seq = applied_seq_;
       }
       for (auto& lane : lanes_) {
@@ -716,6 +746,13 @@ class ShardedDriver {
       ++stats_.batches_quota_rejected;
       return false;
     }
+    return RouteAdmitted(mutation);
+  }
+
+  // The lane-routing tail of IngestFor: the mutation has already passed the
+  // sentinel screen and the quota gate. Also the fast path's escalation
+  // target, so an unsafe mutation is never screened or quota-charged twice.
+  bool RouteAdmitted(const EdgeMutation& mutation) {
     const bool cross = ShardOf(mutation.src) != ShardOf(mutation.dst);
     Lane& lane = *lanes_[ShardOf(mutation.src)];
     {
@@ -734,6 +771,84 @@ class ShardedDriver {
     ++stats_.mutations_enqueued;
     stats_.cross_shard_mutations += cross ? 1 : 0;
     return true;
+  }
+
+  // Session::IngestFast's implementation (see StreamDriver::IngestFast for
+  // the protocol narrative). Screen and quota-admit exactly like IngestFor,
+  // then classify under a journal try-lock: safe mutations journal at the
+  // next global sequence number and splice in place — bypassing the lane
+  // gutters and their staging partitions, which remain lineage of the
+  // *batched* stream only — while unsafe (or journal-contended) ones
+  // escalate into the owning lane as a refinement micro-batch. Safe applies
+  // notify the observer under the journal serialization with pseudo-lane
+  // lanes_.size() + 1, so an observer-recorded stream stays a complete,
+  // in-order record of the admitted stream.
+  bool IngestFastFor(TenantState* state, const EdgeMutation& mutation) {
+    if constexpr (!FastPathEngine<Engine>) {
+      return IngestFor(state, mutation);
+    } else {
+      if (!config_.fast_path) {
+        return IngestFor(state, mutation);
+      }
+      if (quarantine_ != nullptr) {
+        const AdmissionVerdict verdict = ScreenMutation(mutation, config_.admission);
+        if (!verdict.admitted()) {
+          QuarantineReject(verdict.reason, MutationBatch{mutation}, state);
+          return false;
+        }
+      }
+      if (!state->TryAdmit(1)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.mutations_quota_rejected;
+        ++stats_.batches_quota_rejected;
+        return false;
+      }
+      {
+        VertexClaims::Guard guard(&claims_, mutation.src, mutation.dst);
+        std::unique_lock<std::mutex> journal(journal_mu_, std::try_to_lock);
+        if (journal.owns_lock() && engine_->ClassifyFast(mutation).safe) {
+          {
+            // The owning lane's accepting flag stands in for a driver-wide
+            // gate: Stop/Recover flip every lane before touching the engine.
+            Lane& lane = *lanes_[ShardOf(mutation.src)];
+            std::lock_guard<std::mutex> lock(lane.mu);
+            if (!lane.accepting) {
+              std::lock_guard<std::mutex> slock(stats_mu_);
+              ++stats_.mutations_dropped;
+              return false;
+            }
+          }
+          const MutationBatch batch{mutation};
+          if (observer_) {
+            observer_(lanes_.size() + 1, batch);
+          }
+          ++applied_seq_;
+          bool journaled = true;
+          if (checkpointer_ != nullptr) {
+            journaled = checkpointer_->AppendWal(applied_seq_, batch);
+          }
+          epoch_.BeginApply();
+          const bool applied = engine_->ApplyFastSafe(mutation);
+          epoch_.EndApply();
+          // journal_mu_ excluded every writer between ClassifyFast and the
+          // re-validation inside ApplyFastSafe, so the verdict cannot flip.
+          GB_CHECK(applied) << "fast-path re-validation failed under the journal lock";
+          if (checkpointer_ != nullptr && !journaled) {
+            // The WAL record was lost (injected fault): force a checkpoint
+            // so recovery still covers this splice.
+            if constexpr (CheckpointableEngine<Engine>) {
+              checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/true);
+            }
+          }
+          fast_counters_.safe_applied.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.mutations_enqueued;
+          return true;
+        }
+      }
+      fast_counters_.unsafe_escalated.fetch_add(1, std::memory_order_relaxed);
+      return RouteAdmitted(mutation);
+    }
   }
 
   size_t IngestBatchFor(TenantState* state, const MutationBatch& batch) {
@@ -1014,10 +1129,7 @@ class ShardedDriver {
         lane.partition.MaintenanceStep(config_.maintenance_budget_edges);
       }
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
-      if (observer_) {
-        observer_(lane.index, item.batch);
-      }
-      ApplyJournaled(item.batch);
+      ApplyJournaled(item.batch, lane.index);
       applied = engine_->stats();
       if constexpr (GraphMaintainableEngine<Engine>) {
         rebuilds = engine_->mutable_graph()->adaptive_rebuilds();
@@ -1053,11 +1165,18 @@ class ShardedDriver {
     return false;
   }
 
-  // Every engine apply funnels through here: assign the next global
-  // sequence number, journal write-ahead, apply, checkpoint on cadence —
-  // StreamDriver's exact protocol, so recovery is interchangeable. Caller
-  // holds engine_mu_.
-  void ApplyJournaled(const MutationBatch& batch) {
+  // Every engine apply funnels through here: notify the observer, assign
+  // the next global sequence number, journal write-ahead, apply, checkpoint
+  // on cadence — StreamDriver's exact protocol, so recovery is
+  // interchangeable. Caller holds engine_mu_; journal_mu_ is taken here so
+  // fast-path splices interleave only at batch boundaries, and the observer
+  // runs under it so observer order is exactly WAL/apply order even with
+  // fast-path applies in the mix.
+  void ApplyJournaled(const MutationBatch& batch, size_t observer_lane) {
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    if (observer_) {
+      observer_(observer_lane, batch);
+    }
     ++applied_seq_;
     bool journaled = true;
     if (checkpointer_ != nullptr) {
@@ -1081,6 +1200,7 @@ class ShardedDriver {
       SlackCsr::CompactionStats compaction;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);  // vs fast-path splices
         MutableGraph* graph = engine_->mutable_graph();
         graph->MaintenanceStep(config_.maintenance_budget_edges);
         compaction = graph->compaction_stats();
@@ -1110,10 +1230,7 @@ class ShardedDriver {
     {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       replayed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
-        if (observer_) {
-          observer_(lanes_.size(), batch);
-        }
-        ApplyJournaled(batch);
+        ApplyJournaled(batch, lanes_.size());
         const EngineStats& applied = engine_->stats();
         summed.seconds += applied.seconds;
         summed.mutation_seconds += applied.mutation_seconds;
@@ -1209,10 +1326,22 @@ class ShardedDriver {
 
   std::vector<std::unique_ptr<Lane>> lanes_;
 
-  std::mutex engine_mu_;  // held while the engine is applied or snapshotted;
-                          // also guards applied_seq_ and observer_
+  std::mutex engine_mu_;  // held while the engine is applied or snapshotted
+  // Journal mutex, nested strictly *inside* engine_mu_ (never the reverse):
+  // serializes applied_seq_, observer_ invocation, the WAL append order,
+  // and every write to the engine/graph — batched promotions (via
+  // ApplyJournaled), global maintenance, checkpoint writes, recovery
+  // restore, and fast-path splices. The fast path takes only this mutex,
+  // never engine_mu_, which is what keeps safe single-update applies free
+  // of the engine lock. Lane mutexes may be taken under it (leafward).
+  std::mutex journal_mu_;
   uint64_t applied_seq_ = 0;
   ApplyObserver observer_;
+
+  // Fast-path state (config.fast_path; see src/driver/fast_path.h).
+  VertexClaims claims_;
+  FastPathEpoch epoch_;
+  FastPathCounters fast_counters_;
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;

@@ -63,6 +63,45 @@ TEST(EdgeMap, DirectionChoiceIsTransparent) {
   ASSERT_EQ(b1.size(), b2.size());
 }
 
+// dense_result fuses the Take: a chain of pull-direction maps returning
+// dense-only subsets must match the unfused chain exactly, and a dense-only
+// subset must still answer members() (lazily materialized, sorted).
+TEST(EdgeMap, FusedDenseChainMatchesUnfused) {
+  MutableGraph graph(GenerateRmat(500, 4000, {.seed = 213}));
+  auto keep_even = [](VertexId, VertexId v, Weight) { return v % 2 == 0; };
+  VertexSubset plain = VertexSubset::All(graph.num_vertices());
+  VertexSubset fused = VertexSubset::All(graph.num_vertices());
+  for (int step = 0; step < 3; ++step) {
+    plain = EdgeMapDense(graph, plain, keep_even);
+    fused = EdgeMapDense(graph, fused, keep_even, /*dense_result=*/true);
+    ASSERT_EQ(plain.size(), fused.size()) << "step " << step;
+  }
+  ASSERT_EQ(plain.size(), fused.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.members()[i], fused.members()[i]);
+  }
+}
+
+// A dense-only subset re-enters the sparse world correctly: Add() and
+// Normalize() after lazy materialization behave like a sparse-born subset.
+TEST(VertexSubset, DenseOnlySupportsSparseOperations) {
+  FrontierBuilder builder(32);
+  builder.Claim(3);
+  builder.Claim(17);
+  VertexSubset subset = builder.TakeDense();
+  EXPECT_EQ(subset.size(), 2u);
+  EXPECT_TRUE(subset.Dense().Test(17));
+  EXPECT_FALSE(subset.Dense().Test(4));
+  subset.Add(9);
+  subset.Add(3);  // duplicate
+  subset.Normalize();
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_EQ(subset.members()[0], 3u);
+  EXPECT_EQ(subset.members()[1], 9u);
+  EXPECT_EQ(subset.members()[2], 17u);
+  EXPECT_TRUE(subset.Dense().Test(9));
+}
+
 TEST(EdgeMap, EmptyFrontierYieldsEmpty) {
   MutableGraph graph(GenerateChain(10));
   VertexSubset empty(graph.num_vertices());

@@ -2,6 +2,8 @@
 // two-pass mutation (§4.1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/graph/generators.h"
 #include "src/graph/mutable_graph.h"
 #include "src/util/random.h"
@@ -207,6 +209,47 @@ TEST(MutableGraph, UpdateWeightToSameValueIsNoop) {
   MutableGraph graph(std::move(list));
   const AppliedMutations applied = graph.ApplyBatch({EdgeMutation::UpdateWeight(0, 1, 2.0f)});
   EXPECT_TRUE(applied.Empty());
+}
+
+TEST(MutableGraph, ApplySingleMatchesApplyBatchDifferentially) {
+  // The single-mutation fast path (NormalizeSingle/ApplySingle, reused
+  // scratch) must stay semantically identical to ApplyBatch({m}) for every
+  // mutation kind, including self-loops, duplicates, absent-edge deletes,
+  // weight updates, and vertex growth.
+  EdgeList initial = GenerateErdosRenyi(40, 200, 9);
+  MutableGraph single(initial);
+  MutableGraph batched(initial);
+  Rng rng(123);
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<VertexId>(rng.NextBounded(45));  // growth included
+    const auto dst = static_cast<VertexId>(rng.NextBounded(45));
+    EdgeMutation m = EdgeMutation::Add(src, dst, static_cast<Weight>(rng.NextDouble()));
+    const double roll = rng.NextDouble();
+    if (roll < 0.35) {
+      m = EdgeMutation::Delete(src, dst);
+    } else if (roll < 0.5) {
+      m = EdgeMutation::UpdateWeight(src, dst, static_cast<Weight>(rng.NextDouble()));
+    }
+    const MutableGraph::SingleEffect eff = single.NormalizeSingle(m);
+    const AppliedMutations ref = batched.NormalizeBatch({m});
+    ASSERT_EQ(eff.has_add, ref.added.size() == 1) << "mutation " << i;
+    ASSERT_EQ(eff.has_delete, ref.deleted.size() == 1) << "mutation " << i;
+    single.ApplySingle(m);
+    batched.ApplyBatch({m});
+    ASSERT_TRUE(single.CheckInvariants());
+    ASSERT_EQ(single.num_vertices(), batched.num_vertices());
+    ASSERT_EQ(single.num_edges(), batched.num_edges());
+  }
+  // Full structural equality after the sweep, both views.
+  for (VertexId v = 0; v < single.num_vertices(); ++v) {
+    const auto a = single.OutNeighbors(v);
+    const auto b = batched.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "vertex " << v;
+    const auto wa = single.OutWeights(v);
+    const auto wb = batched.OutWeights(v);
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end())) << "vertex " << v;
+    ASSERT_EQ(single.InDegree(v), batched.InDegree(v)) << "vertex " << v;
+  }
 }
 
 TEST(MutableGraph, EmptyBatch) {

@@ -64,6 +64,23 @@ TEST(DriverConfigCli, DefaultsRoundTrip) {
   EXPECT_DOUBLE_EQ(config.flush_interval_seconds, defaults.flush_interval_seconds);
   EXPECT_EQ(config.overflow, defaults.overflow);
   EXPECT_EQ(config.coalesce, defaults.coalesce);
+  EXPECT_EQ(config.fast_path, defaults.fast_path);
+}
+
+TEST(DriverConfigCli, FastPathFlagRoundTrip) {
+  ArgParser args("t");
+  ASSERT_TRUE(ParseFlags({"--fast-path"}, &args));
+  DriverConfig config;
+  std::string error;
+  ASSERT_TRUE(config.FromCli(args, &error)) << error;
+  EXPECT_TRUE(config.fast_path);
+  // fast_path has no cross-field constraint: it must validate with and
+  // without shards, checkpointing, and the sentinel surface.
+  EXPECT_TRUE(config.Validate().empty()) << config.Validate();
+  config.shards = 4;
+  config.checkpoint_dir = "/tmp/ckpt";
+  EXPECT_TRUE(config.Validate().empty()) << config.Validate();
+  EXPECT_TRUE(config.ToStreamOptions<GraphBoltEngine<PageRank>>().fast_path);
 }
 
 TEST(DriverConfigCli, FullSurfaceParses) {
@@ -217,7 +234,7 @@ class DriverConfigEnvTest : public ::testing::Test {
           "GRAPHBOLT_FLUSH_MS", "GRAPHBOLT_TENANT_QUOTAS", "GRAPHBOLT_DEFAULT_QUOTA",
           "GRAPHBOLT_WATCHDOG_MS", "GRAPHBOLT_QUARANTINE_DIR",
           "GRAPHBOLT_MAX_BATCH_EDGES", "GRAPHBOLT_CHECKPOINT_DIR",
-          "GRAPHBOLT_MAX_PENDING_BATCHES"}) {
+          "GRAPHBOLT_MAX_PENDING_BATCHES", "GRAPHBOLT_FAST_PATH"}) {
       ::unsetenv(name);
     }
   }
@@ -244,6 +261,22 @@ TEST_F(DriverConfigEnvTest, MalformedValueNamesTheVariable) {
   EXPECT_FALSE(config.FromEnv(&error));
   EXPECT_NE(error.find("GRAPHBOLT_SHARDS"), std::string::npos) << error;
   EXPECT_NE(error.find("many"), std::string::npos) << error;
+}
+
+TEST_F(DriverConfigEnvTest, FastPathEnvAcceptsBinaryRejectsElse) {
+  ::setenv("GRAPHBOLT_FAST_PATH", "1", 1);
+  DriverConfig config;
+  std::string error;
+  ASSERT_TRUE(config.FromEnv(&error)) << error;
+  EXPECT_TRUE(config.fast_path);
+  ::setenv("GRAPHBOLT_FAST_PATH", "0", 1);
+  DriverConfig off;
+  ASSERT_TRUE(off.FromEnv(&error)) << error;
+  EXPECT_FALSE(off.fast_path);
+  ::setenv("GRAPHBOLT_FAST_PATH", "yes", 1);
+  DriverConfig bad;
+  EXPECT_FALSE(bad.FromEnv(&error));
+  EXPECT_NE(error.find("GRAPHBOLT_FAST_PATH"), std::string::npos) << error;
 }
 
 TEST_F(DriverConfigEnvTest, CrossFieldValidationStillRuns) {

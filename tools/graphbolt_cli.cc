@@ -152,6 +152,14 @@ int VerifyRecovery(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph
   return 0;
 }
 
+void PrintFastPath(const EngineStats& stats) {
+  std::printf("fast path: %llu safe applied in place, %llu escalated to refinement, "
+              "%llu epoch flips\n",
+              static_cast<unsigned long long>(stats.fastpath_safe_applied),
+              static_cast<unsigned long long>(stats.fastpath_unsafe_escalated),
+              static_cast<unsigned long long>(stats.fastpath_epoch_flips));
+}
+
 void PrintDurability(const EngineStats& stats, const DriverConfig& driver) {
   std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
               static_cast<unsigned long long>(stats.checkpoints_written),
@@ -206,7 +214,17 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
       // (which inspects it for deletable edges) sees applied state.
       const MutationBatch batch = stream.NextBatch(
           graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
-      const size_t accepted = driver.IngestBatch(batch);
+      size_t accepted = 0;
+      if (config.driver.fast_path) {
+        // Single-update serving: each mutation classifies against the
+        // dependency store and splices in place when safe; unsafe ones
+        // escalate into the gutter and drain at the flush below.
+        for (const EdgeMutation& m : batch) {
+          accepted += driver.IngestFast(m) ? 1 : 0;
+        }
+      } else {
+        accepted = driver.IngestBatch(batch);
+      }
       driver.Flush();
       driver.PrepQuery();
       std::printf("batch %zu: %zu/%zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
@@ -227,6 +245,9 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
     }
     driver.Stop();
     const EngineStats stats = driver.stats();
+    if (config.driver.fast_path) {
+      PrintFastPath(stats);
+    }
     if (durable) {
       PrintDurability(stats, config.driver);
     }
@@ -296,7 +317,17 @@ int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& 
     for (size_t b = 0; b < config.batches; ++b) {
       const MutationBatch batch = stream.NextBatch(
           graph, {.size = config.driver.batch_size, .add_fraction = config.add_fraction});
-      const size_t accepted = session.IngestBatch(batch);
+      size_t accepted = 0;
+      if (config.driver.fast_path) {
+        // Same single-update serving shape as the unsharded path: safe
+        // splices bypass the lanes entirely, unsafe ones route to their
+        // home lane as micro-batches.
+        for (const EdgeMutation& m : batch) {
+          accepted += session.IngestFast(m) ? 1 : 0;
+        }
+      } else {
+        accepted = session.IngestBatch(batch);
+      }
       driver.Flush();
       driver.PrepQuery();
       std::printf("batch %zu: %zu/%zu mutations, refine %.2f ms, structure %.2f ms\n", b + 1,
@@ -322,6 +353,9 @@ int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& 
                 static_cast<unsigned long long>(stats.shard_wal_appends),
                 static_cast<unsigned long long>(stats.cross_shard_mutations),
                 static_cast<unsigned long long>(stats.sessions_opened));
+    if (config.driver.fast_path) {
+      PrintFastPath(stats);
+    }
     if (durable) {
       PrintDurability(stats, config.driver);
     }
@@ -357,7 +391,7 @@ int Stream(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph, Stream
     return ShardedStreamDriven(engine, make_engine, graph, split, config);
   }
   if (!config.driver.checkpoint_dir.empty() || !config.driver.quarantine_dir.empty() ||
-      config.driver.watchdog_stall_seconds > 0.0) {
+      config.driver.watchdog_stall_seconds > 0.0 || config.driver.fast_path) {
     return StreamDriven(engine, make_engine, graph, split, config);
   }
   Timer total;

@@ -27,7 +27,7 @@ fi
 # `parallel` tier is the work-stealing runtime: the Chase-Lev deque and the
 # fork-join scheduler are exactly the code whose correctness *is* its
 # memory ordering, so TSan here is load-bearing, not belt-and-braces.
-TARGETS=(driver_test shard_test shard_sentinel_test parallel_test
+TARGETS=(driver_test shard_test shard_sentinel_test fastpath_test parallel_test
          task_arena_test fault_recovery_test store_serialization_test
          sentinel_test graph_test mutable_graph_test slack_csr_fuzz_test
          graphbolt_cli example_streaming_service)
