@@ -135,6 +135,23 @@ void Run() {
     batches.push_back(std::move(per_size));
   }
 
+  BenchJson json("table5_performance");
+  auto emit_rows = [&](const char* name, const std::vector<std::vector<Cell>>& cells) {
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      for (size_t s = 0; s < 3; ++s) {
+        const Cell& cell = cells[g][s];
+        json.Row()
+            .Str("algo", name)
+            .Str("graph", graph_names[g])
+            .Str("batch_label", kBatchLabels[s])
+            .Num("ligra_ms", cell.ligra * 1e3)
+            .Num("reset_ms", cell.reset * 1e3)
+            .Num("bolt_ms", cell.bolt * 1e3)
+            .Num("speedup_vs_ligra", cell.ligra / cell.bolt)
+            .Num("speedup_vs_reset", cell.reset / cell.bolt);
+      }
+    }
+  };
   auto run_algo = [&](const char* name, auto make_algo) {
     std::vector<std::vector<Cell>> cells(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
@@ -143,6 +160,7 @@ void Run() {
       }
     }
     PrintAlgoBlock(name, graph_names, cells);
+    emit_rows(name, cells);
   };
 
   run_algo("PR", [](const Surrogate&) { return PageRank(0.85, kBenchTolerance); });
@@ -160,6 +178,11 @@ void Run() {
       }
     }
     PrintAlgoBlock("TC", graph_names, cells);
+    emit_rows("TC", cells);
+  }
+
+  if (json.WriteFile(json.DefaultPath())) {
+    std::printf("\nwrote %s\n", json.DefaultPath().c_str());
   }
 
   std::printf(

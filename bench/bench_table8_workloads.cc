@@ -55,9 +55,17 @@ WorkloadTimes RunWorkloads(const StreamSplit& split, const Algo& algo,
   return times;
 }
 
-void PrintRow(const char* algo, const char* graph, const WorkloadTimes& t) {
+void PrintRow(const char* algo, const char* graph, const WorkloadTimes& t, BenchJson& json) {
   std::printf("%-6s %-5s %10.2f %10.2f %7.2fx %12.2f %12.2f\n", algo, graph, t.lo_bolt * 1e3,
               t.hi_bolt * 1e3, t.hi_bolt / t.lo_bolt, t.lo_reset * 1e3, t.hi_reset * 1e3);
+  json.Row()
+      .Str("algo", algo)
+      .Str("graph", graph)
+      .Num("bolt_lo_ms", t.lo_bolt * 1e3)
+      .Num("bolt_hi_ms", t.hi_bolt * 1e3)
+      .Num("hi_over_lo", t.hi_bolt / t.lo_bolt)
+      .Num("reset_lo_ms", t.lo_reset * 1e3)
+      .Num("reset_hi_ms", t.hi_reset * 1e3);
 }
 
 void Run() {
@@ -67,6 +75,7 @@ void Run() {
 
   std::printf("%-6s %-5s %10s %10s %8s %12s %12s\n", "algo", "graph", "GB Lo(ms)", "GB Hi(ms)",
               "Hi/Lo", "Reset Lo(ms)", "Reset Hi(ms)");
+  BenchJson json("table8_workloads");
 
   for (const Surrogate& surrogate : {kTwitterMpi, kFriendster}) {
     StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
@@ -77,13 +86,15 @@ void Run() {
         split, 2, {.size = 100, .add_fraction = 0.5, .targeting = MutationTargeting::kHighDegree},
         surrogate.seed + 62);
 
-    PrintRow("BP", surrogate.name, RunWorkloads(split, BeliefPropagation<3>(13, kBenchTolerance), lo, hi));
+    PrintRow("BP", surrogate.name, RunWorkloads(split, BeliefPropagation<3>(13, kBenchTolerance), lo, hi), json);
     PrintRow("CoEM", surrogate.name,
-             RunWorkloads(split, CoEM(surrogate.vertices, 0.08, surrogate.seed + 63, kBenchTolerance), lo, hi));
+             RunWorkloads(split, CoEM(surrogate.vertices, 0.08, surrogate.seed + 63, kBenchTolerance), lo, hi),
+             json);
     PrintRow("LP", surrogate.name,
              RunWorkloads(split, LabelPropagation<2>(surrogate.vertices, 0.1, surrogate.seed + 64, kBenchTolerance),
-                          lo, hi));
-    PrintRow("CF", surrogate.name, RunWorkloads(split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), lo, hi));
+                          lo, hi),
+             json);
+    PrintRow("CF", surrogate.name, RunWorkloads(split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), lo, hi), json);
 
     // Triangle counting.
     WorkloadTimes tc;
@@ -103,7 +114,11 @@ void Run() {
       tc.lo_reset = RunStreaming(engine, lo).avg_batch_seconds;
       tc.hi_reset = tc.lo_reset;
     }
-    PrintRow("TC", surrogate.name, tc);
+    PrintRow("TC", surrogate.name, tc, json);
+  }
+
+  if (json.WriteFile(json.DefaultPath())) {
+    std::printf("\nwrote %s\n", json.DefaultPath().c_str());
   }
 
   std::printf(

@@ -30,7 +30,8 @@ uint64_t ResetFootprintBytes(const MutableGraph& graph) {
 }
 
 template <typename Algo>
-void Row(const char* name, const StreamSplit& split, const Algo& algo) {
+void Row(const char* name, const char* graph_name, const StreamSplit& split, const Algo& algo,
+         BenchJson& json) {
   std::printf("%-6s", name);
   MutableGraph graph(split.initial);
   GraphBoltEngine<Algo> engine(&graph, algo);
@@ -53,6 +54,14 @@ void Row(const char* name, const StreamSplit& split, const Algo& algo) {
               100.0 * static_cast<double>(compact_bytes) / static_cast<double>(base),
               100.0 * static_cast<double>(compact.store().logical_entries()) /
                   (static_cast<double>(graph.num_vertices()) * compact.store().tracked_levels()));
+  json.Row()
+      .Str("algo", name)
+      .Str("graph", graph_name)
+      .Num("base_mb", static_cast<double>(base) / 1048576.0)
+      .Num("dense_mb", static_cast<double>(store) / 1048576.0)
+      .Num("dense_overhead", static_cast<double>(store) / static_cast<double>(base))
+      .Num("compact_mb", static_cast<double>(compact_bytes) / 1048576.0)
+      .Num("compact_overhead", static_cast<double>(compact_bytes) / static_cast<double>(base));
 }
 
 void Run() {
@@ -62,17 +71,22 @@ void Run() {
       "'entries kept' column shows vertical pruning at work: stabilized\n"
       "per-vertex aggregations are not re-stored.");
 
+  BenchJson json("table9_memory");
   for (const Surrogate& surrogate : {kWiki, kFriendster}) {
     std::printf("\nGraph %s (%u vertices, %llu edges after 50%% load):\n", surrogate.name,
                 surrogate.vertices, static_cast<unsigned long long>(surrogate.edges / 2));
     std::printf("%-6s %11s %12s %9s %12s %9s\n", "algo", "GB-Reset", "dense", "ovh", "compact",
                 "ovh");
     StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
-    Row("PR", split, PageRank(0.85, kBenchTolerance));
-    Row("BP", split, BeliefPropagation<3>(13, kBenchTolerance));
-    Row("CoEM", split, CoEM(surrogate.vertices, 0.08, surrogate.seed + 71, kBenchTolerance));
-    Row("LP", split, LabelPropagation<2>(surrogate.vertices, 0.1, surrogate.seed + 72, kBenchTolerance));
-    Row("CF", split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3));
+    Row("PR", surrogate.name, split, PageRank(0.85, kBenchTolerance), json);
+    Row("BP", surrogate.name, split, BeliefPropagation<3>(13, kBenchTolerance), json);
+    Row("CoEM", surrogate.name, split, CoEM(surrogate.vertices, 0.08, surrogate.seed + 71, kBenchTolerance), json);
+    Row("LP", surrogate.name, split, LabelPropagation<2>(surrogate.vertices, 0.1, surrogate.seed + 72, kBenchTolerance), json);
+    Row("CF", surrogate.name, split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), json);
+  }
+
+  if (json.WriteFile(json.DefaultPath())) {
+    std::printf("\nwrote %s\n", json.DefaultPath().c_str());
   }
 
   std::printf(

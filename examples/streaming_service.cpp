@@ -203,6 +203,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.degraded_queries),
                 static_cast<unsigned long long>(stats.stalls_detected),
                 static_cast<unsigned long long>(stats.watchdog_recoveries));
+    // Async-fresh serving (--async-mode degrade-only|auto with --overflow
+    // degrade): how often the engine flipped into the delta-accumulative
+    // tier, how many queries were served eventually-consistent values, and
+    // the convergence residual — the freshness bound — they were served at.
+    if (config.async_mode != AsyncModePolicy::kOff) {
+      std::printf("async: %llu entries / %llu reconciles, %llu async applies, %llu steps, "
+                  "%llu async-fresh queries, residual %.3e\n",
+                  static_cast<unsigned long long>(stats.async_entries),
+                  static_cast<unsigned long long>(stats.async_reconciles),
+                  static_cast<unsigned long long>(stats.async_applies),
+                  static_cast<unsigned long long>(stats.async_steps),
+                  static_cast<unsigned long long>(stats.async_fresh_queries),
+                  stats.async_residual);
+    }
     if (stats.mutations_enqueued != split.held_back.size() || stats.mutations_dropped != 0) {
       std::printf("FAIL: lost mutations\n");
       return 1;

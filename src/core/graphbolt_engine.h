@@ -33,7 +33,9 @@
 #ifndef SRC_CORE_GRAPHBOLT_ENGINE_H_
 #define SRC_CORE_GRAPHBOLT_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -44,6 +46,7 @@
 #include <vector>
 
 #include "src/core/algorithm.h"
+#include "src/core/delta_kernel.h"
 #include "src/core/dependency_store.h"
 #include "src/core/streaming_engine.h"
 #include "src/engine/reset_engine.h"  // HasDeltaContribution
@@ -51,8 +54,11 @@
 #include "src/engine/vertex_subset.h"
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
+#include "src/parallel/atomics.h"
 #include "src/parallel/parallel_for.h"
+#include "src/parallel/reducer.h"
 #include "src/parallel/scheduler_scope.h"
+#include "src/parallel/task_arena.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -122,6 +128,8 @@ class GraphBoltEngine {
   // Stats lifecycle (identical across engines, see stats.h): mutation timed
   // first, then Clear(), then mutation_seconds assigned.
   AppliedMutations ApplyMutations(const MutationBatch& batch) {
+    GB_CHECK(!async_mode_) << "BSP ApplyMutations while in async mode; "
+                              "use AsyncApplyMutations or ExitAsyncReconcile first";
     SchedulerCounterScope scheduler(&stats_);
     Timer mutation_timer;
     AppliedMutations applied = graph_->ApplyBatch(batch);
@@ -355,6 +363,254 @@ class GraphBoltEngine {
     return true;
   }
 
+  // ----- Async delta-accumulative mode (Maiter tier) ------------------------
+  // For decomposable aggregations only: barrier-free accumulative iteration
+  // in the style of Maiter / libgrape-lite's async delta PageRank. The
+  // invariant throughout is
+  //
+  //   aggregates_[v] == ⊎_{(u,v) ∈ E} contrib(prop_values_[u])
+  //
+  // where prop_values_[u] is the value u last propagated along its
+  // out-edges. A step picks active vertices (aggregate moved since their
+  // last propagation) in residual-priority order, pushes each one's delta
+  // to its out-neighbors through the same DeltaKernel the BSP refinement
+  // uses, and publishes the new value. The mode converges to the *true*
+  // algorithm fixed point — when BSP ran with a truncated iteration cap,
+  // async values legitimately drift from the k-step front toward the fixed
+  // point; that is the eventually-consistent contract.
+  //
+  // While async_mode() is true the dependency store is stale: BSP
+  // ApplyMutations is rejected, and callers must not checkpoint engine
+  // state. ExitAsyncReconcile() restores the BSP contract with one
+  // reconciling recompute whose result is bitwise-identical (single thread)
+  // to a fresh InitialCompute on the current graph.
+  static constexpr bool kAsyncEligible = Algo::kKind == AggregationKind::kDecomposable;
+
+  bool async_mode() const { return async_mode_; }
+
+  // Monotone-ish convergence residual: total pending |value change| over
+  // vertices whose aggregate moved since their last propagation. Zero means
+  // the async values are the fixed point of the current graph.
+  double AsyncResidual() const { return async_residual_; }
+
+  // Switches to async mode from the current BSP values: rebuilds the live
+  // aggregation array from scratch and activates every vertex that is off
+  // its fixed point (a truncated BSP run leaves a nonzero residual).
+  void EnterAsyncMode()
+    requires(kAsyncEligible)
+  {
+    if (async_mode_) {
+      return;
+    }
+    const VertexId n = graph_->num_vertices();
+    contexts_ = ComputeVertexContexts(*graph_);
+    prop_values_ = values_;
+    aggregates_.assign(n, algo_.IdentityAggregate());
+    async_active_.Resize(n);
+    ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+      uint64_t scratch_edges = 0;
+      for (size_t vi = lo; vi < hi; ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        aggregates_[v] = DeltaKernel<Algo>::PullAggregate(algo_, *graph_, contexts_, v,
+                                                          prop_values_, &scratch_edges);
+      }
+    }, /*grain=*/64);
+    async_mode_ = true;
+    async_residual_ = ComputeAsyncResidual();
+  }
+
+  // Applies a mutation batch while in async mode: splices the graph, then
+  // patches the live aggregation array in place — direct edge impact at old
+  // contexts, then a context-shift pass over every endpoint whose context
+  // changed — so the invariant above holds on the new graph without any
+  // barrier. Affected vertices are activated; deltas flow on the next
+  // AsyncStep. Stats lifecycle matches ApplyMutations.
+  AppliedMutations AsyncApplyMutations(const MutationBatch& batch)
+    requires(kAsyncEligible)
+  {
+    GB_CHECK(async_mode_) << "AsyncApplyMutations outside async mode";
+    SchedulerCounterScope scheduler(&stats_);
+    Timer mutation_timer;
+    AppliedMutations applied = graph_->ApplyBatch(batch);
+    const double mutation_seconds = mutation_timer.Seconds();
+    Timer timer;
+    stats_.Clear();
+    stats_.mutation_seconds = mutation_seconds;
+    if (applied.Empty()) {
+      stats_.seconds = timer.Seconds();
+      return applied;
+    }
+
+    const VertexId n = graph_->num_vertices();
+    const VertexId old_n = static_cast<VertexId>(prop_values_.size());
+    std::vector<VertexContext> old_contexts = std::move(contexts_);
+    old_contexts.resize(n);  // new vertices: empty old context
+    contexts_ = ComputeVertexContexts(*graph_);
+    values_.resize(n, Value{});
+    prop_values_.resize(n, Value{});
+    aggregates_.resize(n, algo_.IdentityAggregate());
+    async_active_.Grow(n);
+    for (VertexId v = old_n; v < n; ++v) {
+      const Value init = algo_.VertexCompute(v, algo_.IdentityAggregate(), contexts_[v]);
+      values_[v] = init;
+      prop_values_[v] = init;
+      async_active_.Set(v);
+    }
+
+    // Endpoints whose context changed: their contribution along every
+    // out-edge moves even though their propagated value did not.
+    AtomicBitset ctx_changed_bits(n);
+    std::vector<VertexId> ctx_changed;
+    auto note_endpoint = [&](VertexId v) {
+      if (!(old_contexts[v] == contexts_[v]) && ctx_changed_bits.Set(v)) {
+        ctx_changed.push_back(v);
+      }
+    };
+    for (const Edge& e : applied.added) {
+      note_endpoint(e.src);
+      note_endpoint(e.dst);
+    }
+    for (const Edge& e : applied.deleted) {
+      note_endpoint(e.src);
+      note_endpoint(e.dst);
+    }
+
+    // Direct impact at old contexts: aggregates_ currently hold prop-value
+    // contributions at old contexts over the old edge set, so adding /
+    // retracting the mutated edges' old-context contributions moves the sum
+    // to the new edge set (still at old contexts).
+    for (const Edge& e : applied.added) {
+      algo_.AggregateAtomic(&aggregates_[e.dst],
+                            algo_.ContributionOf(e.src, prop_values_[e.src], e.weight,
+                                                 old_contexts[e.src]));
+      async_active_.Set(e.dst);
+    }
+    for (const Edge& e : applied.deleted) {
+      algo_.RetractAtomic(&aggregates_[e.dst],
+                          algo_.ContributionOf(e.src, prop_values_[e.src], e.weight,
+                                               old_contexts[e.src]));
+      async_active_.Set(e.dst);
+    }
+    stats_.edges_processed += applied.added.size() + applied.deleted.size();
+
+    // Context shift: retract old-context / aggregate new-context along the
+    // *current* out-edges of every context-changed endpoint, telescoping the
+    // sum to new contexts over the new edge set.
+    std::atomic<uint64_t> edges{0};
+    ParallelForChunks(0, ctx_changed.size(), [&](size_t lo, size_t hi) {
+      uint64_t local_edges = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        const VertexId u = ctx_changed[i];
+        const auto out_nbrs = graph_->OutNeighbors(u);
+        const auto out_wts = graph_->OutWeights(u);
+        for (size_t e = 0; e < out_nbrs.size(); ++e) {
+          DeltaKernel<Algo>::PushChange(algo_, options_.use_retract_propagate, u,
+                                        prop_values_[u], prop_values_[u], out_wts[e],
+                                        old_contexts[u], contexts_[u],
+                                        &aggregates_[out_nbrs[e]]);
+          async_active_.Set(out_nbrs[e]);
+        }
+        local_edges += out_nbrs.size();
+        async_active_.Set(u);
+      }
+      edges.fetch_add(local_edges, std::memory_order_relaxed);
+    }, /*grain=*/16);
+    stats_.edges_processed += edges.load();
+
+    async_residual_ = ComputeAsyncResidual();
+    stats_.seconds = timer.Seconds();
+    return applied;
+  }
+
+  // One bounded round of asynchronous delta propagation: selects up to
+  // `budget` active vertices with the largest pending residual (budget 0
+  // means unbounded), propagates their deltas along out-edges in
+  // priority-ordered chunks (TaskArena's priority lane drains high-impact
+  // work first), then recomputes the global residual. Returns the residual.
+  // Deliberately does not touch stats_ — the driver owns async accounting
+  // across steps, and engine stats are merged per-apply.
+  double AsyncStep(size_t budget)
+    requires(kAsyncEligible)
+  {
+    GB_CHECK(async_mode_) << "AsyncStep outside async mode";
+    const VertexId n = graph_->num_vertices();
+    if (budget == 0) {
+      budget = n;
+    }
+    struct Candidate {
+      double mag;
+      VertexId v;
+    };
+    std::vector<Candidate> cands;
+    {
+      std::mutex merge;
+      ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+        std::vector<Candidate> local;
+        for (size_t vi = lo; vi < hi; ++vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          if (!async_active_.Test(v)) {
+            continue;
+          }
+          const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
+          if (!algo_.ValuesDiffer(prop_values_[v], next)) {
+            async_active_.Clear(v);
+            continue;
+          }
+          local.push_back({ResidualMagnitude(prop_values_[v], next), v});
+        }
+        if (!local.empty()) {
+          std::lock_guard<std::mutex> lock(merge);
+          cands.insert(cands.end(), local.begin(), local.end());
+        }
+      }, /*grain=*/512);
+    }
+    if (cands.empty()) {
+      async_residual_ = 0.0;
+      return 0.0;
+    }
+    auto by_mag_desc = [](const Candidate& a, const Candidate& b) { return a.mag > b.mag; };
+    if (cands.size() > budget) {
+      std::nth_element(cands.begin(), cands.begin() + static_cast<ptrdiff_t>(budget),
+                       cands.end(), by_mag_desc);
+      cands.resize(budget);
+    }
+    std::sort(cands.begin(), cands.end(), by_mag_desc);
+
+    constexpr size_t kChunk = 64;
+    {
+      TaskGroup group;
+      for (size_t lo = 0; lo < cands.size(); lo += kChunk) {
+        const size_t hi = std::min(cands.size(), lo + kChunk);
+        group.RunPriority(cands[lo].mag, [this, &cands, lo, hi] {
+          for (size_t i = lo; i < hi; ++i) {
+            PropagateOne(cands[i].v);
+          }
+        });
+      }
+      group.Wait();
+    }
+    async_residual_ = ComputeAsyncResidual();
+    return async_residual_;
+  }
+
+  // Leaves async mode with one reconciling barrier: recomputes values and
+  // the dependency store from scratch, so the post-reconcile state is
+  // bitwise-identical (single thread) to a fresh InitialCompute on the
+  // current graph — the deterministic-recovery contract the BSP mode makes.
+  void ExitAsyncReconcile()
+    requires(kAsyncEligible)
+  {
+    if (!async_mode_) {
+      return;
+    }
+    async_mode_ = false;
+    async_residual_ = 0.0;
+    prop_values_.clear();
+    prop_values_.shrink_to_fit();
+    async_active_.Resize(0);
+    InitialCompute();
+  }
+
  private:
   static constexpr bool kPullBased = Algo::kKind == AggregationKind::kNonDecomposable;
   static constexpr uint64_t kStateMagic = 0x47424f4c54535431ULL;  // "GBOLTST1"
@@ -441,15 +697,33 @@ class GraphBoltEngine {
           }
         }
       }, /*grain=*/64);
-      VertexSubset targets = touched.Take();
-      ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
-        uint64_t local_edges = 0;
-        for (size_t i = lo; i < hi; ++i) {
-          const VertexId v = targets.members()[i];
-          aggregates_[v] = PullAggregate(v, values_, &local_edges);
-        }
-        edges.fetch_add(local_edges, std::memory_order_relaxed);
-      }, /*grain=*/64);
+      // TakeAuto: a dense target set comes back as its bitset alone and is
+      // swept below (and in CommitIteration) without ever packing the
+      // sparse member vector. Both walks ascend, so the single-threaded
+      // visit order — and the committed values — are identical either way.
+      VertexSubset targets = touched.TakeAuto();
+      if (targets.dense_only()) {
+        const AtomicBitset& bits = targets.Dense();
+        ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t vi = lo; vi < hi; ++vi) {
+            const VertexId v = static_cast<VertexId>(vi);
+            if (bits.Test(v)) {
+              aggregates_[v] = PullAggregate(v, values_, &local_edges);
+            }
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/512);
+      } else {
+        ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            const VertexId v = targets.members()[i];
+            aggregates_[v] = PullAggregate(v, values_, &local_edges);
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/64);
+      }
       stats_.edges_processed += edges.load();
       return CommitIteration(targets);
     } else {
@@ -470,7 +744,7 @@ class GraphBoltEngine {
         edges.fetch_add(local_edges, std::memory_order_relaxed);
       }, /*grain=*/64);
       stats_.edges_processed += edges.load();
-      return CommitIteration(touched.Take());
+      return CommitIteration(touched.TakeAuto());
     }
   }
 
@@ -481,20 +755,40 @@ class GraphBoltEngine {
     AtomicBitset changed_bits(n);
     std::vector<std::pair<VertexId, Value>> changed;
     std::mutex merge;
-    ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
-      std::vector<std::pair<VertexId, Value>> local;
-      for (size_t i = lo; i < hi; ++i) {
-        const VertexId v = targets.members()[i];
-        const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
-        if (algo_.ValuesDiffer(values_[v], next)) {
-          changed_bits.Set(v);
-          local.emplace_back(v, values_[v]);
-          values_[v] = next;
-        }
+    const auto commit_one = [&](VertexId v, std::vector<std::pair<VertexId, Value>>* local) {
+      const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
+      if (algo_.ValuesDiffer(values_[v], next)) {
+        changed_bits.Set(v);
+        local->emplace_back(v, values_[v]);
+        values_[v] = next;
       }
-      std::lock_guard<std::mutex> lock(merge);
-      changed.insert(changed.end(), local.begin(), local.end());
-    }, /*grain=*/256);
+    };
+    if (targets.dense_only()) {
+      // Fused-dense targets (TakeAuto): sweep the bitset instead of
+      // forcing the sparse pack. Ascending like the member walk, so a
+      // single-threaded commit is bitwise-identical.
+      const AtomicBitset& bits = targets.Dense();
+      ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+        std::vector<std::pair<VertexId, Value>> local;
+        for (size_t vi = lo; vi < hi; ++vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          if (bits.Test(v)) {
+            commit_one(v, &local);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge);
+        changed.insert(changed.end(), local.begin(), local.end());
+      }, /*grain=*/512);
+    } else {
+      ParallelForChunks(0, targets.size(), [&](size_t lo, size_t hi) {
+        std::vector<std::pair<VertexId, Value>> local;
+        for (size_t i = lo; i < hi; ++i) {
+          commit_one(targets.members()[i], &local);
+        }
+        std::lock_guard<std::mutex> lock(merge);
+        changed.insert(changed.end(), local.begin(), local.end());
+      }, /*grain=*/256);
+    }
     store_.SnapshotLevel(store_.total_levels() + 1, aggregates_, std::move(changed_bits));
     return changed;
   }
@@ -502,30 +796,16 @@ class GraphBoltEngine {
   // ----- Refinement ---------------------------------------------------------
 
   // Applies one change (retract old / aggregate new, or a combined delta) to
-  // a target aggregation cell.
+  // a target aggregation cell. Shared with the async mode via DeltaKernel.
   void PushChange(VertexId u, const Value& old_value, const Value& new_value, Weight w,
                   const VertexContext& old_ctx, const VertexContext& new_ctx, Aggregate* agg) {
-    if constexpr (HasDeltaContribution<Algo>) {
-      if (!options_.use_retract_propagate) {
-        algo_.AggregateAtomic(agg, algo_.DeltaContribution(u, old_value, new_value, w, old_ctx, new_ctx));
-        return;
-      }
-    }
-    algo_.RetractAtomic(agg, algo_.ContributionOf(u, old_value, w, old_ctx));
-    algo_.AggregateAtomic(agg, algo_.ContributionOf(u, new_value, w, new_ctx));
+    DeltaKernel<Algo>::PushChange(algo_, options_.use_retract_propagate, u, old_value,
+                                  new_value, w, old_ctx, new_ctx, agg);
   }
 
   // Re-evaluates g(v) by pulling the full in-neighborhood with `vals`.
   Aggregate PullAggregate(VertexId v, const std::vector<Value>& vals, uint64_t* edge_counter) {
-    Aggregate agg = algo_.IdentityAggregate();
-    const auto in_nbrs = graph_->InNeighbors(v);
-    const auto in_wts = graph_->InWeights(v);
-    for (size_t i = 0; i < in_nbrs.size(); ++i) {
-      const VertexId u = in_nbrs[i];
-      algo_.AggregateAtomic(&agg, algo_.ContributionOf(u, vals[u], in_wts[i], contexts_[u]));
-    }
-    *edge_counter += in_nbrs.size();
-    return agg;
+    return DeltaKernel<Algo>::PullAggregate(algo_, *graph_, contexts_, v, vals, edge_counter);
   }
 
   // c_{level}(v) in the *pre-mutation* run. `prev` holds snapshotted old
@@ -913,6 +1193,78 @@ class GraphBoltEngine {
     values_ = std::move(cur);
   }
 
+  // ----- Async mode internals -----------------------------------------------
+
+  // How far apart two values are, for priority ordering and the residual
+  // sum. Arithmetic values use their absolute difference; structured values
+  // (label arrays) count 1 per differing vertex.
+  static double ResidualMagnitude(const Value& a, const Value& b) {
+    if constexpr (std::is_arithmetic_v<Value>) {
+      return std::fabs(static_cast<double>(a) - static_cast<double>(b));
+    } else {
+      return 1.0;
+    }
+  }
+
+  // Propagates one vertex's pending delta: clears its active bit, pushes
+  // (prop -> next) along every out-edge, publishes the new value. Racing
+  // pushes into this vertex re-set the bit; the post-step residual scan
+  // re-activates anything a relaxed-ordering race slipped past.
+  // Copies one aggregate cell with element-wise atomic loads. Concurrent
+  // PropagateOne calls CAS into the cell while this vertex reads it, and
+  // mixed atomic/plain access to one location is a data race — the copy
+  // pairs the read side with PushChange's atomics. Relaxed is enough: a
+  // stale element only delays convergence, and the post-step residual
+  // scan re-activates anything it left behind.
+  static Aggregate LoadAggregateRelaxed(const Aggregate& cell) {
+    if constexpr (std::is_arithmetic_v<Aggregate>) {
+      return AtomicLoad(&cell);
+    } else {
+      Aggregate out{};
+      for (size_t i = 0; i < cell.size(); ++i) {
+        out[i] = AtomicLoad(&cell[i]);
+      }
+      return out;
+    }
+  }
+
+  void PropagateOne(VertexId v) {
+    async_active_.Clear(v);
+    const Value cur = prop_values_[v];
+    const Aggregate agg = LoadAggregateRelaxed(aggregates_[v]);
+    const Value next = algo_.VertexCompute(v, agg, contexts_[v]);
+    if (!algo_.ValuesDiffer(cur, next)) {
+      return;
+    }
+    const auto out_nbrs = graph_->OutNeighbors(v);
+    const auto out_wts = graph_->OutWeights(v);
+    for (size_t e = 0; e < out_nbrs.size(); ++e) {
+      DeltaKernel<Algo>::PushChange(algo_, options_.use_retract_propagate, v, cur, next,
+                                    out_wts[e], contexts_[v], contexts_[v],
+                                    &aggregates_[out_nbrs[e]]);
+      async_active_.Set(out_nbrs[e]);
+    }
+    prop_values_[v] = next;
+    values_[v] = next;
+  }
+
+  // Full-scan residual: sums the pending change of every vertex that is off
+  // its aggregate, re-activating it (self-healing against lost wakeups from
+  // the relaxed clear/push race in PropagateOne). Deterministic reduction
+  // tree, so the residual trajectory is reproducible for a fixed schedule.
+  double ComputeAsyncResidual() {
+    const VertexId n = graph_->num_vertices();
+    return ParallelReduceSum<double>(0, n, [&](size_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
+      const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
+      if (!algo_.ValuesDiffer(prop_values_[v], next)) {
+        return 0.0;
+      }
+      async_active_.Set(v);
+      return ResidualMagnitude(prop_values_[v], next);
+    });
+  }
+
   MutableGraph* graph_;
   Algo algo_;
   Options options_;
@@ -923,6 +1275,12 @@ class GraphBoltEngine {
   StoreT store_;
   EngineStats stats_;
   MutationBatch pending_;  // mutations buffered during refinement
+
+  // Async-mode state (empty while in BSP mode).
+  bool async_mode_ = false;
+  std::vector<Value> prop_values_;  // values whose contributions are in aggregates_
+  AtomicBitset async_active_;       // aggregate moved since last propagation
+  double async_residual_ = 0.0;
 };
 
 }  // namespace graphbolt

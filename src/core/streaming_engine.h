@@ -107,6 +107,37 @@ concept GraphMaintainableEngine =
       { engine.mutable_graph() } -> std::convertible_to<MutableGraph*>;
     };
 
+// A StreamingEngine that additionally supports the asynchronous
+// delta-accumulative execution mode (the Maiter tier): barrier-free
+// propagation of pending deltas for decomposable aggregations, serving
+// eventually-consistent values between steps. Only engines whose
+// aggregation can retract contributions can satisfy this —
+// GraphBoltEngine over PageRank/CoEM/Label Propagation does; KickStarter
+// and the non-decomposable (min/max) instantiations are rejected at
+// compile time by the `requires(kAsyncEligible)` gates on the members.
+//
+// The mode contract (see graphbolt_engine.h for semantics):
+//
+//   EnterAsyncMode()        BSP -> async flip from the current values.
+//   AsyncApplyMutations(b)  barrier-free batch apply; activates impacts.
+//   AsyncStep(budget)       one bounded priority-ordered propagation round;
+//                           returns the convergence residual.
+//   AsyncResidual()         last computed residual (0 == at fixed point).
+//   ExitAsyncReconcile()    async -> BSP with one reconciling barrier that
+//                           restores bitwise-deterministic state.
+//   async_mode()            which mode the engine is in.
+template <typename E>
+concept AsyncDeltaEngine =
+    StreamingEngine<E> && requires(E engine, const E& const_engine,
+                                   const MutationBatch& batch, size_t budget) {
+      engine.EnterAsyncMode();
+      { engine.AsyncApplyMutations(batch) } -> std::same_as<AppliedMutations>;
+      { engine.AsyncStep(budget) } -> std::same_as<double>;
+      { const_engine.AsyncResidual() } -> std::same_as<double>;
+      engine.ExitAsyncReconcile();
+      { const_engine.async_mode() } -> std::same_as<bool>;
+    };
+
 }  // namespace graphbolt
 
 #endif  // SRC_CORE_STREAMING_ENGINE_H_

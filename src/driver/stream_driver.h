@@ -83,6 +83,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -91,11 +92,13 @@
 #include "src/graph/mutable_graph.h"
 #include "src/driver/fast_path.h"
 #include "src/driver/gutter_buffer.h"
+#include "src/driver/maintenance_budget.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
 #include "src/fault/fault_injector.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/bounded_queue.h"
+#include "src/parallel/task_arena.h"
 #include "src/sentinel/admission.h"
 #include "src/sentinel/quarantine.h"
 #include "src/sentinel/watchdog.h"
@@ -115,6 +118,37 @@ inline bool DefaultBackgroundCompaction() {
 inline bool DefaultFastPath() {
   const char* env = std::getenv("GRAPHBOLT_FAST_PATH");
   return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+// When the drivers may flip an AsyncDeltaEngine into the Maiter-style
+// asynchronous delta-accumulative execution mode (INTERNALS §14). Shared
+// between StreamDriver::Options and the sharded DriverConfig, so it lives
+// at namespace scope like OverflowPolicy.
+enum class AsyncModePolicy {
+  kOff,          // never: strictly synchronous BSP (the default)
+  kDegradeOnly,  // only while the kDegrade governor reports overload;
+                 // reconciles back to BSP when pressure clears
+  kAuto,         // let the driver decide. Today the only trigger is the
+                 // same degrade signal, so kAuto behaves like
+                 // kDegradeOnly; it reserves latitude for future
+                 // heuristics without an operator-visible rename.
+};
+
+// The GRAPHBOLT_ASYNC_MODE default for Options::async_mode / the sharded
+// DriverConfig ("off" | "degrade-only" | "auto"; anything else reads off).
+inline AsyncModePolicy DefaultAsyncModePolicy() {
+  const char* env = std::getenv("GRAPHBOLT_ASYNC_MODE");
+  if (env == nullptr) {
+    return AsyncModePolicy::kOff;
+  }
+  const std::string_view value(env);
+  if (value == "auto") {
+    return AsyncModePolicy::kAuto;
+  }
+  if (value == "degrade-only") {
+    return AsyncModePolicy::kDegradeOnly;
+  }
+  return AsyncModePolicy::kOff;
 }
 
 // What to do with a flushed batch when the pending queue is full. Shared
@@ -197,6 +231,20 @@ class StreamDriver {
     // claims, no engine lock); unsafe ones escalate into the gutter as a
     // refinement micro-batch. With this false, IngestFast == Ingest.
     bool fast_path = DefaultFastPath();
+
+    // ----- Async delta-accumulative mode (the Maiter tier; INTERNALS §14) --
+    // With an AsyncDeltaEngine and OverflowPolicy::kDegrade, kDegradeOnly /
+    // kAuto let the driver flip the engine into barrier-free async mode
+    // while the governor reports overload: degraded queries then observe
+    // continuously-updating, eventually-consistent values whose distance
+    // from the true fixed point is bounded by stats().async_residual,
+    // instead of a frozen snapshot. Self-clearing: when pressure recedes
+    // (or a barrier needs exactness) the driver runs one reconciling
+    // barrier that restores bitwise-deterministic BSP state. Defaults to
+    // the GRAPHBOLT_ASYNC_MODE environment variable.
+    AsyncModePolicy async_mode = DefaultAsyncModePolicy();
+    // Vertex budget per async propagation round (0 = unbounded round).
+    size_t async_step_budget = size_t{1} << 14;
   };
 
   // The engine must outlive the driver and already hold the initial
@@ -207,6 +255,7 @@ class StreamDriver {
       : engine_(engine),
         options_(options),
         governor_(options.governor),
+        budget_(options.maintenance_budget_edges),
         queue_(options.max_pending_batches),
         checkpointer_(options.checkpointer),
         injector_(options.fault_injector) {
@@ -300,7 +349,11 @@ class StreamDriver {
       {
         VertexClaims::Guard guard(&claims_, mutation.src, mutation.dst);
         std::unique_lock<std::mutex> journal(journal_mu_, std::try_to_lock);
-        if (journal.owns_lock() && engine_->ClassifyFast(mutation).safe) {
+        // While the async tier is engaged the BSP dependency store is stale,
+        // so ClassifyFast cannot reason about it: escalate. Mode flips hold
+        // journal_mu_, so a false read here stays false for this splice.
+        if (journal.owns_lock() && !async_engaged_.load(std::memory_order_acquire) &&
+            engine_->ClassifyFast(mutation).safe) {
           // Admission bookkeeping before the point of no return: once the
           // WAL record lands the mutation is part of the admitted stream.
           {
@@ -381,16 +434,30 @@ class StreamDriver {
   // snapshot; check healthy() and call Recover().
   bool PrepQuery() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (gutter_.empty() && in_flight_ == 0 && shed_batches_ == 0) {
+    bool cached = gutter_.empty() && in_flight_ == 0 && shed_batches_ == 0;
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      // An async-engaged engine holds eventually-consistent values, never
+      // an exact BSP snapshot, so the fast path's "still current" claim
+      // would be a lie: fall through to the reconciling barrier.
+      cached = cached && !async_engaged_.load(std::memory_order_acquire);
+    }
+    if (cached) {
       return false;  // cached-query fast path
     }
     if (options_.overflow == OverflowPolicy::kDegrade && governor_.degraded()) {
-      // Degraded serve: under overload, don't block on the barrier. The
-      // engine state is always *some* prefix-consistent BSP snapshot
-      // (whole batches apply under engine_mu_), just not the freshest one;
-      // use QuerySnapshot() to read it race-free. Clears automatically
+      // Degraded serve: under overload, don't block on the barrier. In BSP
+      // mode the engine state is always *some* prefix-consistent snapshot
+      // (whole batches apply under engine_mu_), just not the freshest one.
+      // With the async tier engaged the served values are instead
+      // eventually consistent and continuously updating — every applied
+      // batch and propagation round moves them toward the fixed point, and
+      // stats().async_residual bounds the remaining distance. Use
+      // QuerySnapshot() to read either race-free. Clears automatically
       // once the governor's pressure recedes.
       ++stats_.degraded_queries;
+      if (async_engaged_.load(std::memory_order_acquire)) {
+        ++stats_.async_fresh_queries;
+      }
       return true;
     }
     for (;;) {
@@ -403,6 +470,20 @@ class StreamDriver {
       if (worker_dead_) {
         GB_LOG(kWarning) << "worker died during the query barrier; Recover() first";
         return true;
+      }
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        if (async_engaged_.load(std::memory_order_acquire)) {
+          // The barrier promises an exact BSP snapshot: run the
+          // reconciling barrier first, then re-check the drain (the
+          // reconcile dropped mu_, so producers may have raced in).
+          lock.unlock();
+          {
+            std::lock_guard<std::mutex> engine_lock(engine_mu_);
+            ReconcileAsync();
+          }
+          lock.lock();
+          continue;
+        }
       }
       if (shed_batches_ == 0) {
         return true;
@@ -579,6 +660,13 @@ class StreamDriver {
       uint64_t replayed_shed = 0;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        if constexpr (AsyncDeltaEngine<Engine>) {
+          // WAL replay goes through BSP ApplyMutations: a crash inside an
+          // async window reconciles first. The reconcile force-checkpoints,
+          // so the reconciled fixpoint is the newest restore point and the
+          // replay tail past it is empty.
+          ReconcileAsync();
+        }
         bool can_absorb = false;
         {
           // journal_mu_ fences out concurrent fast-path splices while the
@@ -704,6 +792,13 @@ class StreamDriver {
         drained_cv_.notify_all();
       }
     }
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      // The worker has joined, so nothing will tick the mode again: leave
+      // the engine reconciled to bitwise-deterministic BSP state (shed
+      // replay below and any later barrier go through BSP ApplyMutations).
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      ReconcileAsync();
+    }
     if (!dead) {
       bool have_shed;
       {
@@ -815,6 +910,7 @@ class StreamDriver {
 
   void WorkerLoop() {
     for (;;) {
+      Timer poll;
       std::optional<TimedBatch> item =
           queue_.PopFor(std::chrono::duration<double>(NextPollSeconds()));
       if (item.has_value()) {
@@ -833,7 +929,11 @@ class StreamDriver {
         }
         continue;
       } else {
+        // An empty poll IS the idle window the maintenance budget sizes
+        // ticks against; feed the observation before spending it.
+        budget_.RecordIdle(poll.Seconds());
         MaintenanceTick();  // idle poll: let a pending rewrite advance
+        AsyncTick();        // refresh overload state; propagate or reconcile
       }
       // The stale check runs after *every* iteration — successful pops
       // included, so a busy queue cannot starve a stale gutter — against
@@ -934,10 +1034,35 @@ class StreamDriver {
     Timer wall;
     EngineStats applied;
     uint64_t rebuilds = 0;
+    bool async_applied = false;
+    bool async_stepped = false;
+    double async_residual = 0.0;
+    uint64_t priority_delta = 0;
     {
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply);
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
-      ApplyJournaled(item.batch);
+      SyncAsyncMode();
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        if (async_engaged_.load(std::memory_order_relaxed)) {
+          AsyncApplyJournaled(item.batch);  // reconciles itself on WAL loss
+          async_applied = true;
+          if (async_engaged_.load(std::memory_order_relaxed) &&
+              engine_->AsyncResidual() > 0.0) {
+            // One bounded propagation round rides along with every apply,
+            // so the served values chase the mutations they absorb. The
+            // engine leaves async-round scheduler work unattributed;
+            // account the priority-lane pushes from the arena directly.
+            const uint64_t before = TaskArena::Instance().counters().tasks_priority;
+            engine_->AsyncStep(options_.async_step_budget);
+            priority_delta = TaskArena::Instance().counters().tasks_priority - before;
+            async_stepped = true;
+          }
+          async_residual = engine_->AsyncResidual();
+        }
+      }
+      if (!async_applied) {
+        ApplyJournaled(item.batch);
+      }
       applied = engine_->stats();
       if constexpr (GraphMaintainableEngine<Engine>) {
         rebuilds = engine_->mutable_graph()->adaptive_rebuilds();
@@ -954,6 +1079,12 @@ class StreamDriver {
     stats_.tasks_forked += applied.tasks_forked;
     stats_.tasks_stolen += applied.tasks_stolen;
     stats_.inline_runs += applied.inline_runs;
+    stats_.tasks_priority += applied.tasks_priority + priority_delta;
+    if (async_applied) {
+      ++stats_.async_applies;
+      stats_.async_steps += async_stepped ? 1 : 0;
+      stats_.async_residual = async_residual;
+    }
     stats_.flush_latency_seconds += item.since_flush.Seconds();
     governor_.RecordApply(wall.Seconds());
     governor_.Update(queue_.size());
@@ -972,21 +1103,168 @@ class StreamDriver {
       if (!options_.background_compaction) {
         return;
       }
+      // Adaptive budget: sized from the observed idle-window length and
+      // per-edge cost, falling back to the configured constant until both
+      // signals have data (see maintenance_budget.h).
+      const size_t budget = budget_.Next();
       SlackCsr::CompactionStats compaction;
+      Timer step;
       {
         StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kMaintenance);
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
         std::lock_guard<std::mutex> journal_lock(journal_mu_);  // vs fast-path splices
         MutableGraph* graph = engine_->mutable_graph();
-        graph->MaintenanceStep(options_.maintenance_budget_edges);
+        graph->MaintenanceStep(budget);
         compaction = graph->compaction_stats();
       }
+      // Feed the cost signal with this step's delta (the graph counter is
+      // cumulative); lock wait counts as cost, which rightly shrinks the
+      // budget when the engine is contended.
+      budget_.RecordStep(compaction.background_edges_copied - last_maintenance_edges_,
+                         step.Seconds());
+      last_maintenance_edges_ = compaction.background_edges_copied;
       std::lock_guard<std::mutex> lock(mu_);
       // The graph's counters are already cumulative; mirror, don't sum.
       stats_.maintenance_steps = compaction.maintenance_steps;
       stats_.background_compactions = compaction.background_compactions;
       stats_.background_compaction_edges = compaction.background_edges_copied;
       stats_.forced_sync_compactions = compaction.forced_sync_compactions;
+      stats_.maintenance_budget_edges = budget;
+    }
+  }
+
+  // ----- Async delta-accumulative mode (INTERNALS §14) ---------------------
+  //
+  // Mode flips hold BOTH engine_mu_ and journal_mu_: the fast path splices
+  // under journal_mu_ alone, and a splice racing EnterAsyncMode's aggregate
+  // rebuild (or the reconcile's recompute) would tear it. async_engaged_
+  // mirrors engine_->async_mode() so either lock — or neither, for
+  // advisory reads — observes the flip race-free. While engaged: IngestFast
+  // escalates (ClassifyFast reasons about the stale BSP dependency store),
+  // cadence checkpoints are suppressed (same staleness), and the WAL keeps
+  // journaling every batch — recovery replays it through BSP
+  // ApplyMutations, landing on a legitimate BSP state of the final graph.
+
+  // True when policy, overflow policy, and the governor agree the engine
+  // should be running async. kAuto and kDegradeOnly share the degrade
+  // trigger today (see AsyncModePolicy).
+  bool AsyncWanted() const {
+    if (options_.async_mode == AsyncModePolicy::kOff ||
+        options_.overflow != OverflowPolicy::kDegrade) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return governor_.degraded();
+  }
+
+  // Flips the engine to match AsyncWanted(). Caller holds engine_mu_.
+  void SyncAsyncMode() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      const bool want = AsyncWanted();
+      const bool engaged = async_engaged_.load(std::memory_order_relaxed);
+      if (want && !engaged) {
+        double residual = 0.0;
+        {
+          std::lock_guard<std::mutex> journal_lock(journal_mu_);
+          engine_->EnterAsyncMode();
+          async_engaged_.store(true, std::memory_order_release);
+          residual = engine_->AsyncResidual();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.async_entries;
+        stats_.async_residual = residual;
+      } else if (!want && engaged) {
+        ReconcileAsync();
+      }
+    }
+  }
+
+  // One reconciling barrier: async -> BSP (a from-scratch refinement on the
+  // final graph restores bitwise-deterministic state), then a forced
+  // checkpoint — cadence checkpoints were suppressed across the async
+  // window, so the store must re-cover the frontier now. No-op when the
+  // engine is already synchronous. Caller holds engine_mu_ but not mu_.
+  void ReconcileAsync() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      if (!async_engaged_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        engine_->ExitAsyncReconcile();
+        async_engaged_.store(false, std::memory_order_release);
+        if (checkpointer_ != nullptr) {
+          if constexpr (CheckpointableEngine<Engine>) {
+            StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
+            checkpointer_->WriteCheckpoint(applied_seq_);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.async_reconciles;
+      stats_.async_residual = 0.0;
+    }
+  }
+
+  // The async counterpart of ApplyJournaled: journal write-ahead, then the
+  // barrier-free apply. No cadence checkpoint — the dependency store is
+  // stale while async, so a snapshot here would be unrecoverable; a lost
+  // WAL record instead forces an immediate reconcile, whose checkpoint
+  // supersedes it. Caller holds engine_mu_.
+  void AsyncApplyJournaled(const MutationBatch& batch) {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      bool journaled = true;
+      {
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        ++applied_seq_;
+        if (checkpointer_ != nullptr) {
+          journaled = checkpointer_->AppendWal(applied_seq_, batch);
+        }
+        engine_->AsyncApplyMutations(batch);
+      }
+      if (checkpointer_ != nullptr && !journaled) {
+        GB_LOG(kWarning) << "async apply lost its WAL record; reconciling to a checkpoint";
+        ReconcileAsync();
+      }
+    }
+  }
+
+  // An idle-window async round: refresh the governor (a quiet queue is what
+  // clears degraded mode), flip the engine to match, and — while engaged
+  // and unconverged — run one bounded propagation round. Running on every
+  // idle poll is what makes the mode self-clearing without waiting for a
+  // query barrier, and what drives the residual to zero once ingestion
+  // pauses: freshness progresses even with no queries observing it.
+  void AsyncTick() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      if (options_.async_mode == AsyncModePolicy::kOff ||
+          options_.overflow != OverflowPolicy::kDegrade) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        governor_.Update(queue_.size());
+      }
+      bool stepped = false;
+      double residual = 0.0;
+      uint64_t priority_delta = 0;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        SyncAsyncMode();
+        if (async_engaged_.load(std::memory_order_relaxed) &&
+            engine_->AsyncResidual() > 0.0) {
+          const uint64_t before = TaskArena::Instance().counters().tasks_priority;
+          residual = engine_->AsyncStep(options_.async_step_budget);
+          priority_delta = TaskArena::Instance().counters().tasks_priority - before;
+          stepped = true;
+        }
+      }
+      if (stepped) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.async_steps;
+        stats_.async_residual = residual;
+        stats_.tasks_priority += priority_delta;
+      }
     }
   }
 
@@ -1024,6 +1302,11 @@ class StreamDriver {
     EngineStats summed;
     {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        // Shed replay goes through BSP ApplyMutations; the same engine_mu_
+        // scope keeps a racing tick from re-entering async mid-drain.
+        ReconcileAsync();
+      }
       replayed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
         ApplyJournaled(batch);
         const EngineStats& applied = engine_->stats();
@@ -1034,6 +1317,7 @@ class StreamDriver {
         summed.tasks_forked += applied.tasks_forked;
         summed.tasks_stolen += applied.tasks_stolen;
         summed.inline_runs += applied.inline_runs;
+        summed.tasks_priority += applied.tasks_priority;
       });
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -1046,6 +1330,7 @@ class StreamDriver {
     stats_.tasks_forked += summed.tasks_forked;
     stats_.tasks_stolen += summed.tasks_stolen;
     stats_.inline_runs += summed.inline_runs;
+    stats_.tasks_priority += summed.tasks_priority;
     shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
   }
 
@@ -1119,6 +1404,17 @@ class StreamDriver {
   std::mutex journal_mu_;
   uint64_t applied_seq_ = 0;
   std::mutex shed_replay_mu_;  // serializes ReplayShed calls
+
+  // Mirror of engine_->async_mode(): set and cleared only while holding
+  // BOTH engine_mu_ and journal_mu_, so holding either suffices to read it
+  // race-free (the fast path gates on it under journal_mu_ alone).
+  std::atomic<bool> async_engaged_{false};
+
+  // Adaptive background-maintenance budget (worker-thread signals; the
+  // class synchronizes itself). last_maintenance_edges_ tracks the graph's
+  // cumulative copied-edge counter between ticks; worker-thread only.
+  MaintenanceBudget budget_;
+  uint64_t last_maintenance_edges_ = 0;
 
   // Fast-path state (Options::fast_path; see src/driver/fast_path.h).
   VertexClaims claims_;

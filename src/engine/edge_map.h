@@ -37,9 +37,15 @@ struct EdgeMapOptions {
   // next step is a pull / force_dense edgeMap): fuse FrontierBuilder's Take
   // into the map by returning a dense-only subset — the O(universe) sparse
   // pack is skipped and materializes lazily if members() is ever read.
-  // Pays off on force_dense chains; the auto direction chooser reads
-  // members() for its degree sum, which would un-fuse the savings.
   bool dense_result = false;
+  // Let the direction chooser pick the result form too: a map that ran in
+  // the dense direction returns a dense-only subset (its frontier was
+  // edge-heavy, so the next step tends to stay dense — and the chooser now
+  // sums degrees off the dense view directly, so an auto chain keeps the
+  // fusion instead of un-materializing it). A sparse-direction map still
+  // returns the packed form its consumers index into. Explicit
+  // dense_result / force_* override the pick.
+  bool auto_result = true;
 };
 
 // Sparse push: applies f to every out-edge of the frontier. `f` must be
@@ -100,13 +106,25 @@ VertexSubset EdgeMap(const MutableGraph& graph, const VertexSubset& frontier, Ed
   // Frontier out-degree sum for the direction choice, in parallel — on
   // dense frontiers the serial sum was itself a full O(V) pass before any
   // edge work started. ParallelReduceSum falls back to one serial chunk
-  // below its grain, so sparse frontiers pay no fork-join overhead.
-  const auto& members = frontier.members();
-  const uint64_t frontier_edges = ParallelReduceSum<uint64_t>(
-      0, members.size(),
-      [&](size_t i) { return static_cast<uint64_t>(graph.OutDegree(members[i])); });
+  // below its grain, so sparse frontiers pay no fork-join overhead. A
+  // dense-only frontier (a fused upstream map) is summed off its bitset so
+  // the choice itself never forces the O(universe) sparse pack.
+  uint64_t frontier_edges = 0;
+  if (frontier.dense_only()) {
+    const AtomicBitset& bits = frontier.Dense();
+    frontier_edges = ParallelReduceSum<uint64_t>(
+        0, static_cast<size_t>(graph.num_vertices()), [&](size_t v) {
+          const VertexId id = static_cast<VertexId>(v);
+          return bits.Test(id) ? static_cast<uint64_t>(graph.OutDegree(id)) : uint64_t{0};
+        });
+  } else {
+    const auto& members = frontier.members();
+    frontier_edges = ParallelReduceSum<uint64_t>(
+        0, members.size(),
+        [&](size_t i) { return static_cast<uint64_t>(graph.OutDegree(members[i])); });
+  }
   if (frontier_edges > graph.num_edges() / options.denseness_denominator) {
-    return EdgeMapDense(graph, frontier, f, options.dense_result);
+    return EdgeMapDense(graph, frontier, f, options.dense_result || options.auto_result);
   }
   return EdgeMapSparse(graph, frontier, f, options.dense_result);
 }

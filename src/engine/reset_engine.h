@@ -251,44 +251,80 @@ class ResetEngine {
       }, /*grain=*/64);
     }
 
-    VertexSubset to_recompute = touched.Take();
+    // TakeAuto: dense recompute sets stay in bitset form and are swept
+    // below without the O(universe) sparse pack; both walks ascend, so a
+    // single-threaded iteration commits identically either way.
+    VertexSubset to_recompute = touched.TakeAuto();
+    const auto repull_one = [&](VertexId v, uint64_t* local_edges) {
+      Aggregate agg = algo_.IdentityAggregate();
+      const auto in_nbrs = graph_->InNeighbors(v);
+      const auto in_wts = graph_->InWeights(v);
+      for (size_t e = 0; e < in_nbrs.size(); ++e) {
+        const VertexId u = in_nbrs[e];
+        algo_.AggregateAtomic(&agg,
+                              algo_.ContributionOf(u, values_[u], in_wts[e], contexts_[u]));
+      }
+      *local_edges += in_nbrs.size();
+      aggregates_[v] = agg;
+    };
     if constexpr (kPullBased) {
       // Re-evaluate the aggregation of each touched vertex from scratch.
-      ParallelForChunks(0, to_recompute.size(), [&](size_t lo, size_t hi) {
-        uint64_t local_edges = 0;
-        for (size_t i = lo; i < hi; ++i) {
-          const VertexId v = to_recompute.members()[i];
-          Aggregate agg = algo_.IdentityAggregate();
-          const auto in_nbrs = graph_->InNeighbors(v);
-          const auto in_wts = graph_->InWeights(v);
-          for (size_t e = 0; e < in_nbrs.size(); ++e) {
-            const VertexId u = in_nbrs[e];
-            algo_.AggregateAtomic(&agg,
-                                  algo_.ContributionOf(u, values_[u], in_wts[e], contexts_[u]));
+      if (to_recompute.dense_only()) {
+        const AtomicBitset& bits = to_recompute.Dense();
+        ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t vi = lo; vi < hi; ++vi) {
+            const VertexId v = static_cast<VertexId>(vi);
+            if (bits.Test(v)) {
+              repull_one(v, &local_edges);
+            }
           }
-          local_edges += in_nbrs.size();
-          aggregates_[v] = agg;
-        }
-        edges.fetch_add(local_edges, std::memory_order_relaxed);
-      }, /*grain=*/64);
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/512);
+      } else {
+        ParallelForChunks(0, to_recompute.size(), [&](size_t lo, size_t hi) {
+          uint64_t local_edges = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            repull_one(to_recompute.members()[i], &local_edges);
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+        }, /*grain=*/64);
+      }
     }
     stats_.edges_processed += edges.load();
 
     std::vector<std::pair<VertexId, Value>> changed;
     std::mutex merge;
-    ParallelForChunks(0, to_recompute.size(), [&](size_t lo, size_t hi) {
-      std::vector<std::pair<VertexId, Value>> local;
-      for (size_t i = lo; i < hi; ++i) {
-        const VertexId v = to_recompute.members()[i];
-        const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
-        if (algo_.ValuesDiffer(values_[v], next)) {
-          local.emplace_back(v, values_[v]);
-          values_[v] = next;
-        }
+    const auto commit_one = [&](VertexId v, std::vector<std::pair<VertexId, Value>>* local) {
+      const Value next = algo_.VertexCompute(v, aggregates_[v], contexts_[v]);
+      if (algo_.ValuesDiffer(values_[v], next)) {
+        local->emplace_back(v, values_[v]);
+        values_[v] = next;
       }
-      std::lock_guard<std::mutex> lock(merge);
-      changed.insert(changed.end(), local.begin(), local.end());
-    }, /*grain=*/256);
+    };
+    if (to_recompute.dense_only()) {
+      const AtomicBitset& bits = to_recompute.Dense();
+      ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+        std::vector<std::pair<VertexId, Value>> local;
+        for (size_t vi = lo; vi < hi; ++vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          if (bits.Test(v)) {
+            commit_one(v, &local);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge);
+        changed.insert(changed.end(), local.begin(), local.end());
+      }, /*grain=*/512);
+    } else {
+      ParallelForChunks(0, to_recompute.size(), [&](size_t lo, size_t hi) {
+        std::vector<std::pair<VertexId, Value>> local;
+        for (size_t i = lo; i < hi; ++i) {
+          commit_one(to_recompute.members()[i], &local);
+        }
+        std::lock_guard<std::mutex> lock(merge);
+        changed.insert(changed.end(), local.begin(), local.end());
+      }, /*grain=*/256);
+    }
     return changed;
   }
 

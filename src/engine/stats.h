@@ -42,6 +42,8 @@ struct EngineStats {
   // Loops/forks that ran serially on the caller (range at or below grain,
   // or a serial arena).
   uint64_t inline_runs = 0;
+  // Closures pushed into the arena's priority lane (async delta rounds).
+  uint64_t tasks_priority = 0;
 
   // ----- Driver-level counters (populated by StreamDriver only) -----------
   // Batches handed to the engine's ApplyMutations by the worker.
@@ -96,6 +98,10 @@ struct EngineStats {
   // kBackground-mode batches that still compacted synchronously because
   // slack hit the kForcedSyncSlack backstop (0 when maintenance keeps up).
   uint64_t forced_sync_compactions = 0;
+  // The adaptive per-tick compaction budget currently in force (edges); the
+  // configured maintenance_budget_edges until idle-window measurements
+  // accumulate, then derived from observed idle time and per-edge cost.
+  uint64_t maintenance_budget_edges = 0;
 
   // ----- Sentinel counters (populated by StreamDriver when admission
   // control / quarantine / watchdog are configured) --------------------------
@@ -120,6 +126,23 @@ struct EngineStats {
   // The governor's current apply-latency estimate (EWMA seconds); 0 until
   // the first batch applies.
   double apply_ewma_seconds = 0.0;
+
+  // ----- Async-mode counters (populated by the drivers when the Maiter
+  // async tier is engaged under kDegrade; see INTERNALS §14) ----------------
+  // Times an eligible engine was flipped from BSP into async mode.
+  uint64_t async_entries = 0;
+  // Bounded priority-ordered delta-propagation rounds executed.
+  uint64_t async_steps = 0;
+  // Mutation batches applied barrier-free while in async mode.
+  uint64_t async_applies = 0;
+  // Reconciling barriers that restored bitwise-deterministic BSP state.
+  uint64_t async_reconciles = 0;
+  // The engine's convergence residual after the most recent async step or
+  // apply (0 when converged or not in async mode).
+  double async_residual = 0.0;
+  // Degraded queries served from continuously-updating async values
+  // (subset of degraded_queries; the rest served frozen BSP snapshots).
+  uint64_t async_fresh_queries = 0;
 
   // ----- Shard/session counters (populated by ShardedDriver only) ----------
   // Ingestion lanes the driver runs (DriverConfig::shards).

@@ -61,6 +61,14 @@ class VertexSubset {
   size_t size() const { return sparse_valid_ ? members_.size() : dense_count_; }
   bool Empty() const { return size() == 0; }
 
+  // True while the subset is held in dense-only form (FromDense /
+  // TakeDense / TakeAuto's dense pick): Dense() is free, members() would
+  // pay the O(universe) pack. Consumers with an index-free walk branch on
+  // this to sweep the bitset instead; both walks ascend, so a
+  // single-threaded consumer visits the same vertices in the same order
+  // either way.
+  bool dense_only() const { return !sparse_valid_; }
+
   const std::vector<VertexId>& members() const {
     MaterializeSparse();
     return members_;
@@ -288,7 +296,27 @@ class FrontierBuilder {
     return VertexSubset::FromDense(universe_, claimed_, claimed_.Count());
   }
 
+  // Auto-picks the result representation from the frontier's density — the
+  // vertex-axis analogue of Ligra's push/pull chooser, applied at the
+  // producer instead of every call site. A dense frontier (at least
+  // universe / kDenseResultDenominator members) comes back dense-only: its
+  // consumers sweep the whole universe anyway (a pull step, a bit-test
+  // walk), so the O(universe) sparse pack is pure overhead. A sparse
+  // frontier packs as before — a bit-test sweep would dwarf its
+  // O(|frontier|) member walk.
+  VertexSubset TakeAuto() const {
+    const size_t count = claimed_.Count();
+    if (count * kDenseResultDenominator >= static_cast<size_t>(universe_)) {
+      return VertexSubset::FromDense(universe_, claimed_, count);
+    }
+    return Take();
+  }
+
  private:
+  // Mirrors EdgeMapOptions::denseness_denominator (Ligra's |E|/20) on the
+  // vertex axis: past 1/20th of the universe, sweeping bits beats packing.
+  static constexpr size_t kDenseResultDenominator = 20;
+
   VertexId universe_;
   AtomicBitset claimed_;
 };

@@ -28,6 +28,16 @@ void AtomicAdd(T* target, T delta) {
   }
 }
 
+// Atomic relaxed load of a cell the helpers above mutate concurrently. A
+// plain read racing an atomic CAS on the same location is a data race even
+// when a torn value would be self-healing — pair every concurrent reader
+// with this.
+template <typename T>
+T AtomicLoad(const T* target) {
+  static_assert(std::is_arithmetic_v<T>);
+  return reinterpret_cast<const std::atomic<T>*>(target)->load(std::memory_order_relaxed);
+}
+
 // Atomically `*target *= factor` (CAS loop). Belief Propagation's product
 // aggregation uses this together with AtomicDivide for retraction.
 template <typename T>

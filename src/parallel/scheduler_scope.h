@@ -25,6 +25,7 @@ class SchedulerCounterScope {
     stats_->tasks_forked = after.tasks_forked - before_.tasks_forked;
     stats_->tasks_stolen = after.tasks_stolen - before_.tasks_stolen;
     stats_->inline_runs = after.inline_runs - before_.inline_runs;
+    stats_->tasks_priority = after.tasks_priority - before_.tasks_priority;
   }
 
   SchedulerCounterScope(const SchedulerCounterScope&) = delete;

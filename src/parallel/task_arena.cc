@@ -80,7 +80,10 @@ void TaskArena::WorkerLoop(arena_internal::WorkerSlot* slot) {
   for (;;) {
     arena_internal::Task* task = PopLocal(slot);
     for (int round = 0; task == nullptr && round < 4; ++round) {
-      task = TrySteal(slot);
+      task = PopPriority();  // drain the lane before random steals
+      if (task == nullptr) {
+        task = TrySteal(slot);
+      }
       if (task == nullptr && queued_.load(std::memory_order_acquire) > 0) {
         std::this_thread::yield();  // work exists; a sweep just raced
         round = -1;
@@ -149,6 +152,7 @@ arena_internal::Task* TaskArena::TrySteal(arena_internal::WorkerSlot* self) {
 ArenaCounters TaskArena::counters() const {
   ArenaCounters totals;
   totals.inline_runs = inline_runs_.load(std::memory_order_relaxed);
+  totals.tasks_priority = priority_pushes_.load(std::memory_order_relaxed);
   for (const arena_internal::WorkerSlot& slot : slots_) {
     totals.tasks_forked += slot.forks.load(std::memory_order_relaxed);
     totals.tasks_stolen += slot.steals.load(std::memory_order_relaxed);

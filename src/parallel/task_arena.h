@@ -46,6 +46,7 @@
 #ifndef SRC_PARALLEL_TASK_ARENA_H_
 #define SRC_PARALLEL_TASK_ARENA_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -67,9 +68,10 @@ class TaskGroup;
 // before/after a region and subtract to attribute work to it). These feed
 // the scheduler block of EngineStats.
 struct ArenaCounters {
-  uint64_t tasks_forked = 0;   // closures pushed into a deque
-  uint64_t tasks_stolen = 0;   // deque pops that crossed threads
-  uint64_t inline_runs = 0;    // loops/forks executed serially on the caller
+  uint64_t tasks_forked = 0;    // closures pushed into a deque
+  uint64_t tasks_stolen = 0;    // deque pops that crossed threads
+  uint64_t inline_runs = 0;     // loops/forks executed serially on the caller
+  uint64_t tasks_priority = 0;  // closures pushed into the priority lane
 };
 
 namespace arena_internal {
@@ -304,6 +306,40 @@ class TaskArena {
     }
   }
 
+  // ----- Priority lane -------------------------------------------------------
+  // A single shared max-heap next to the per-thread deques, for work whose
+  // execution order matters (async delta propagation drains high-impact
+  // deltas first). Deliberately not a deque: priority tasks are few and
+  // coarse (one per chunk of vertices), so one mutex is cheaper than a
+  // concurrent heap — and the BSP deques stay untouched. Workers and group
+  // waiters drain the lane after their own deque but *before* stealing, so
+  // a queued high-priority chunk preempts random steals.
+  void OnPushPriority(double priority, arena_internal::Task* task) {
+    {
+      std::lock_guard<std::mutex> lock(priority_mu_);
+      priority_lane_.push_back({priority, task});
+      std::push_heap(priority_lane_.begin(), priority_lane_.end(), PriorityBefore);
+    }
+    priority_pushes_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_release);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+      sleep_cv_.notify_one();
+    }
+  }
+
+  // Pops the highest-priority queued task; nullptr when the lane is empty.
+  arena_internal::Task* PopPriority() {
+    std::lock_guard<std::mutex> lock(priority_mu_);
+    if (priority_lane_.empty()) {
+      return nullptr;
+    }
+    std::pop_heap(priority_lane_.begin(), priority_lane_.end(), PriorityBefore);
+    arena_internal::Task* task = priority_lane_.back().task;
+    priority_lane_.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return task;
+  }
+
   // Blocks the calling group-waiter until new work is queued or the group
   // completes. `pending` is the group's pending counter.
   void WaitForGroupOrWork(const std::atomic<size_t>& pending) {
@@ -343,6 +379,19 @@ class TaskArena {
   std::condition_variable sleep_cv_;
 
   std::atomic<uint64_t> inline_runs_{0};
+
+  // Priority lane state. `queued_` counts lane entries too, so the sleep
+  // predicate and the steal-retry loops see them without new plumbing.
+  struct PriorityEntry {
+    double priority;
+    arena_internal::Task* task;
+  };
+  static bool PriorityBefore(const PriorityEntry& a, const PriorityEntry& b) {
+    return a.priority < b.priority;  // max-heap on priority
+  }
+  std::mutex priority_mu_;
+  std::vector<PriorityEntry> priority_lane_;
+  std::atomic<uint64_t> priority_pushes_{0};
 
   // constinit + inline: the constant initializer is visible in every TU, so
   // the compiler emits direct TLS accesses instead of routing other-TU reads
@@ -414,6 +463,25 @@ class TaskGroup {
     arena_.OnPush(slot, new Closure(std::forward<Fn>(fn), this));
   }
 
+  // Forks `fn` into the arena's shared priority lane: among queued priority
+  // tasks, higher `priority` runs first (deque work and steals are
+  // interleaved as usual — the lane orders the lane, it does not starve the
+  // deques). Same lifetime contract as Run().
+  template <typename Fn>
+  void RunPriority(double priority, Fn&& fn) {
+    arena_internal::WorkerSlot* slot = TaskArena::TlsSlot();
+    if (slot == nullptr || arena_.num_threads() == 1) {
+      arena_.CountInlineRun();
+      TaskArena::AdjustRegionDepth(1);
+      fn();
+      TaskArena::AdjustRegionDepth(-1);
+      return;
+    }
+    using Closure = ClosureTask<std::decay_t<Fn>>;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    arena_.OnPushPriority(priority, new Closure(std::forward<Fn>(fn), this));
+  }
+
   // Helps execute work (own deque first, then stealing) until every task
   // forked into this group has completed.
   void Wait() {
@@ -424,6 +492,9 @@ class TaskGroup {
     while (pending_.load(std::memory_order_acquire) > 0) {
       arena_internal::Task* task =
           slot != nullptr ? arena_.PopLocal(slot) : nullptr;
+      if (task == nullptr) {
+        task = arena_.PopPriority();
+      }
       if (task == nullptr && slot != nullptr) {
         task = arena_.TrySteal(slot);
       }

@@ -90,6 +90,31 @@ const char* DriverConfig::OverflowName(OverflowPolicy policy) {
   return "unknown";
 }
 
+bool DriverConfig::ParseAsyncMode(const std::string& name, AsyncModePolicy* policy) {
+  if (name == "off") {
+    *policy = AsyncModePolicy::kOff;
+  } else if (name == "degrade-only") {
+    *policy = AsyncModePolicy::kDegradeOnly;
+  } else if (name == "auto") {
+    *policy = AsyncModePolicy::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DriverConfig::AsyncModeName(AsyncModePolicy policy) {
+  switch (policy) {
+    case AsyncModePolicy::kOff:
+      return "off";
+    case AsyncModePolicy::kDegradeOnly:
+      return "degrade-only";
+    case AsyncModePolicy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
 bool DriverConfig::ParseQuota(const std::string& spec, TenantQuota* quota,
                               std::string* error) {
   TenantQuota parsed;
@@ -148,7 +173,11 @@ void DriverConfig::RegisterFlags(ArgParser& args) {
   args.AddBool("fast-path", defaults.fast_path,
                "splice safe single updates in place, bypassing gutter batching");
   args.AddInt("maintenance-budget", static_cast<int64_t>(defaults.maintenance_budget_edges),
-              "edge budget per background maintenance step");
+              "edge budget per background maintenance step (adapted to observed "
+              "idle windows once the driver has measurements)");
+  args.AddString("async-mode", AsyncModeName(defaults.async_mode),
+                 "async delta-accumulative tier: off | degrade-only | auto "
+                 "(needs --overflow degrade and a decomposable engine)");
   args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
   args.AddInt("checkpoint-every", static_cast<int64_t>(defaults.checkpoint_every),
               "checkpoint cadence in batches (0 = WAL only)");
@@ -203,6 +232,11 @@ bool DriverConfig::FromCli(const ArgParser& args, std::string* error) {
     return false;
   }
   maintenance_budget_edges = static_cast<size_t>(budget);
+  if (!ParseAsyncMode(args.GetString("async-mode"), &async_mode)) {
+    *error = "--async-mode \"" + args.GetString("async-mode") +
+             "\" is unknown; use off | degrade-only | auto";
+    return false;
+  }
   checkpoint_dir = args.GetString("checkpoint-dir");
   const int64_t cadence = args.GetInt("checkpoint-every");
   if (cadence < 0) {
@@ -343,6 +377,12 @@ bool DriverConfig::FromEnv(std::string* error) {
         }
         maintenance_budget_edges = static_cast<size_t>(parsed);
         return true;
+      })) {
+    return false;
+  }
+  if (!EnvOverride("GRAPHBOLT_ASYNC_MODE", error, [&](const std::string& v) {
+        *error = "expected off | degrade-only | auto";
+        return ParseAsyncMode(v, &async_mode);
       })) {
     return false;
   }

@@ -72,6 +72,16 @@ struct DriverConfig {
   // in place, bypassing gutter batching (src/driver/fast_path.h).
   bool fast_path = DefaultFastPath();
 
+  // ----- Async delta-accumulative mode (INTERNALS §14) --------------------
+  // When the engine is an AsyncDeltaEngine and overflow is kDegrade,
+  // degrade-only/auto let the drivers flip it into the Maiter-style
+  // barrier-free async mode under overload, serving eventually-consistent
+  // continuously-updating values instead of a frozen snapshot. Inert with
+  // any other overflow policy or a non-decomposable engine.
+  AsyncModePolicy async_mode = DefaultAsyncModePolicy();
+  // Vertex budget per async propagation round (0 = unbounded round).
+  size_t async_step_budget = size_t{1} << 14;
+
   // ----- Durability -------------------------------------------------------
   // Non-empty arms WAL + cadence checkpoints (the caller still constructs
   // the Checkpointer; this carries the knobs to one place).
@@ -97,6 +107,11 @@ struct DriverConfig {
   static bool ParseOverflow(const std::string& name, OverflowPolicy* policy);
   static const char* OverflowName(OverflowPolicy policy);
 
+  // Parses an async-mode policy name (off | degrade-only | auto). Returns
+  // false on an unknown name, leaving *policy untouched.
+  static bool ParseAsyncMode(const std::string& name, AsyncModePolicy* policy);
+  static const char* AsyncModeName(AsyncModePolicy policy);
+
   // Parses a quota spec "rate[:burst[:total]]" (e.g. "5000", "5000:20000",
   // "0:0:1000000"). Returns false with *error set on a malformed spec.
   static bool ParseQuota(const std::string& spec, TenantQuota* quota, std::string* error);
@@ -118,7 +133,8 @@ struct DriverConfig {
   //   GRAPHBOLT_MAX_PENDING_BATCHES, GRAPHBOLT_OVERFLOW,
   //   GRAPHBOLT_BG_COMPACTION, GRAPHBOLT_FAST_PATH,
   //   GRAPHBOLT_MAINTENANCE_BUDGET,
-  //   GRAPHBOLT_CHECKPOINT_DIR, GRAPHBOLT_CHECKPOINT_EVERY,
+  //   GRAPHBOLT_ASYNC_MODE, GRAPHBOLT_CHECKPOINT_DIR,
+  //   GRAPHBOLT_CHECKPOINT_EVERY,
   //   GRAPHBOLT_QUARANTINE_DIR, GRAPHBOLT_MAX_BATCH_EDGES,
   //   GRAPHBOLT_WATCHDOG_MS, GRAPHBOLT_DEFAULT_QUOTA,
   //   GRAPHBOLT_TENANT_QUOTAS ("alice=5000,bob=0:0:1000").
@@ -159,6 +175,8 @@ struct DriverConfig {
     options.watchdog_stall_seconds = watchdog_stall_seconds;
     options.watchdog_poll_seconds = watchdog_poll_seconds;
     options.watchdog_auto_recover = watchdog_auto_recover;
+    options.async_mode = async_mode;
+    options.async_step_budget = async_step_budget;
     return options;
   }
 };

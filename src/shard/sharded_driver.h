@@ -89,6 +89,7 @@
 #include "src/core/streaming_engine.h"
 #include "src/driver/fast_path.h"
 #include "src/driver/gutter_buffer.h"
+#include "src/driver/maintenance_budget.h"
 #include "src/engine/stats.h"
 #include "src/fault/checkpoint.h"
 #include "src/fault/fault_injector.h"
@@ -96,6 +97,7 @@
 #include "src/graph/mutable_graph.h"
 #include "src/graph/mutation.h"
 #include "src/parallel/bounded_queue.h"
+#include "src/parallel/task_arena.h"
 #include "src/sentinel/admission.h"
 #include "src/sentinel/quarantine.h"
 #include "src/sentinel/watchdog.h"
@@ -301,6 +303,14 @@ class ShardedDriver {
         break;
       }
     }
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      // An async-engaged engine holds eventually-consistent values, not an
+      // exact BSP snapshot — the fast path's "still current" claim would
+      // be a lie, so force the reconciling barrier instead.
+      if (async_engaged_.load(std::memory_order_acquire)) {
+        idle = false;
+      }
+    }
     if (idle) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (shed_batches_ == 0) {
@@ -309,12 +319,18 @@ class ShardedDriver {
       idle = false;
     }
     if (config_.overflow == OverflowPolicy::kDegrade && degraded()) {
-      // Degraded serve: whole batches promote under engine_mu_, so the
-      // engine state is always the exact BSP fixpoint of *some* prefix of
-      // the admitted stream — stale, never inconsistent. Clears on its own
-      // once pressure recedes on every lane.
+      // Degraded serve: whole batches promote under engine_mu_, so in BSP
+      // mode the engine state is always the exact BSP fixpoint of *some*
+      // prefix of the admitted stream — stale, never inconsistent. With
+      // the async tier engaged the served values instead update
+      // continuously (eventually consistent; stats().async_residual bounds
+      // the distance to the fixed point). Clears on its own once pressure
+      // recedes on every lane.
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.degraded_queries;
+      if (async_engaged_.load(std::memory_order_acquire)) {
+        ++stats_.async_fresh_queries;
+      }
       return true;
     }
     for (;;) {
@@ -325,6 +341,18 @@ class ShardedDriver {
       for (auto& lane : lanes_) {
         std::unique_lock<std::mutex> lock(lane->mu);
         lane->drained_cv.wait(lock, [&] { return lane->in_flight == 0; });
+      }
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        if (async_engaged_.load(std::memory_order_acquire)) {
+          // The barrier promises an exact BSP snapshot: run the reconciling
+          // barrier, then re-run the flush/drain loop (a producer may have
+          // raced in while the engine recomputed).
+          {
+            std::lock_guard<std::mutex> engine_lock(engine_mu_);
+            ReconcileAsync();
+          }
+          continue;
+        }
       }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -526,6 +554,12 @@ class ShardedDriver {
       uint64_t recovered_seq = 0;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        if constexpr (AsyncDeltaEngine<Engine>) {
+          // WAL replay goes through BSP ApplyMutations: a crash inside an
+          // async window reconciles first (force-checkpointing, so the
+          // reconciled fixpoint is the newest restore point).
+          ReconcileAsync();
+        }
         bool can_absorb = false;
         {
           // journal_mu_ fences out concurrent fast-path splices while the
@@ -675,6 +709,12 @@ class ShardedDriver {
         }
       }
     }
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      // Lane workers have joined, so nothing ticks the mode again: leave
+      // the engine reconciled to bitwise-deterministic BSP state.
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      ReconcileAsync();
+    }
     bool have_shed;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -806,7 +846,11 @@ class ShardedDriver {
       {
         VertexClaims::Guard guard(&claims_, mutation.src, mutation.dst);
         std::unique_lock<std::mutex> journal(journal_mu_, std::try_to_lock);
-        if (journal.owns_lock() && engine_->ClassifyFast(mutation).safe) {
+        // While the async tier is engaged the BSP dependency store is
+        // stale, so ClassifyFast cannot reason about it: escalate. Mode
+        // flips hold journal_mu_, so a false read stays false here.
+        if (journal.owns_lock() && !async_engaged_.load(std::memory_order_acquire) &&
+            engine_->ClassifyFast(mutation).safe) {
           {
             // The owning lane's accepting flag stands in for a driver-wide
             // gate: Stop/Recover flip every lane before touching the engine.
@@ -1005,6 +1049,7 @@ class ShardedDriver {
 
   void LaneLoop(Lane& lane) {
     for (;;) {
+      Timer poll;
       std::optional<TimedBatch> item =
           lane.queue.PopFor(std::chrono::duration<double>(NextPollSeconds(lane)));
       if (item.has_value()) {
@@ -1019,7 +1064,11 @@ class ShardedDriver {
       } else if (lane.index == 0) {
         // Idle poll: advance a pending global rewrite. One lane suffices —
         // the budget bounds each step, not the number of ticking threads.
+        // The empty poll is the idle window the adaptive budget sizes
+        // ticks against; feed the observation before spending it.
+        budget_.RecordIdle(poll.Seconds());
         GlobalMaintenanceTick();
+        AsyncTick();  // refresh overload state; propagate or reconcile
       }
       // The stale check runs after *every* iteration — successful pops
       // included, so a busy lane queue cannot starve a stale gutter —
@@ -1117,6 +1166,10 @@ class ShardedDriver {
     bool journaled = false;
     EngineStats applied;
     uint64_t rebuilds = 0;
+    bool async_applied = false;
+    bool async_stepped = false;
+    double async_residual = 0.0;
+    uint64_t priority_delta = 0;
     {
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply, lane.index);
       if (lane.wal_enabled) {
@@ -1129,7 +1182,28 @@ class ShardedDriver {
         lane.partition.MaintenanceStep(config_.maintenance_budget_edges);
       }
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
-      ApplyJournaled(item.batch, lane.index);
+      SyncAsyncMode();
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        if (async_engaged_.load(std::memory_order_relaxed)) {
+          AsyncApplyJournaled(item.batch, lane.index);  // reconciles on WAL loss
+          async_applied = true;
+          if (async_engaged_.load(std::memory_order_relaxed) &&
+              engine_->AsyncResidual() > 0.0) {
+            // One bounded propagation round rides along with every promote,
+            // so served values chase the mutations they absorb even when no
+            // lane ever goes idle. Priority-lane forks happen inside the
+            // engine; attribute them here where stats_mu_ is available.
+            const uint64_t before = TaskArena::Instance().counters().tasks_priority;
+            engine_->AsyncStep(config_.async_step_budget);
+            priority_delta = TaskArena::Instance().counters().tasks_priority - before;
+            async_stepped = true;
+          }
+          async_residual = engine_->AsyncResidual();
+        }
+      }
+      if (!async_applied) {
+        ApplyJournaled(item.batch, lane.index);
+      }
       applied = engine_->stats();
       if constexpr (GraphMaintainableEngine<Engine>) {
         rebuilds = engine_->mutable_graph()->adaptive_rebuilds();
@@ -1149,7 +1223,13 @@ class ShardedDriver {
       stats_.tasks_forked += applied.tasks_forked;
       stats_.tasks_stolen += applied.tasks_stolen;
       stats_.inline_runs += applied.inline_runs;
+      stats_.tasks_priority += applied.tasks_priority + priority_delta;
       stats_.flush_latency_seconds += item.since_flush.Seconds();
+      if (async_applied) {
+        ++stats_.async_applies;
+        stats_.async_steps += async_stepped ? 1 : 0;
+        stats_.async_residual = async_residual;
+      }
     }
     {
       // Every lane's promote feeds the one global governor: the EWMA sees
@@ -1197,19 +1277,168 @@ class ShardedDriver {
       if (!config_.background_compaction) {
         return;
       }
+      // Adaptive budget: sized from lane 0's observed idle windows and the
+      // per-edge rewrite cost, falling back to the configured constant
+      // until both signals have data (see maintenance_budget.h). Only
+      // lane 0 ticks, so last_maintenance_edges_ is single-threaded.
+      const size_t budget = budget_.Next();
       SlackCsr::CompactionStats compaction;
+      Timer step;
       {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
         std::lock_guard<std::mutex> journal_lock(journal_mu_);  // vs fast-path splices
         MutableGraph* graph = engine_->mutable_graph();
-        graph->MaintenanceStep(config_.maintenance_budget_edges);
+        graph->MaintenanceStep(budget);
         compaction = graph->compaction_stats();
       }
+      budget_.RecordStep(compaction.background_edges_copied - last_maintenance_edges_,
+                         step.Seconds());
+      last_maintenance_edges_ = compaction.background_edges_copied;
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.maintenance_steps = compaction.maintenance_steps;
       stats_.background_compactions = compaction.background_compactions;
       stats_.background_compaction_edges = compaction.background_edges_copied;
       stats_.forced_sync_compactions = compaction.forced_sync_compactions;
+      stats_.maintenance_budget_edges = budget;
+    }
+  }
+
+  // ----- Async delta-accumulative mode (INTERNALS §14) ---------------------
+  //
+  // The sharded variant of StreamDriver's async tier (see stream_driver.h
+  // for the full protocol). Same invariants, sharded lock map: mode flips
+  // hold BOTH engine_mu_ and journal_mu_ (fast-path splices run under
+  // journal_mu_ alone); the governor lives under governor_mu_; stats under
+  // stats_mu_. While engaged: IngestFastFor escalates, cadence checkpoints
+  // are suppressed, per-lane WAL staging and the global WAL both keep
+  // journaling every batch, and the observer stream stays a complete
+  // record — AsyncApplyJournaled invokes it under journal_mu_ exactly like
+  // the BSP path, so an observer-driven re-run reproduces the apply order.
+
+  // True when policy, overflow policy, and the governor agree the engine
+  // should be running async. kAuto and kDegradeOnly share the degrade
+  // trigger today (see AsyncModePolicy).
+  bool AsyncWanted() const {
+    if (config_.async_mode == AsyncModePolicy::kOff ||
+        config_.overflow != OverflowPolicy::kDegrade) {
+      return false;
+    }
+    std::lock_guard<std::mutex> glock(governor_mu_);
+    return governor_.degraded();
+  }
+
+  // Flips the engine to match AsyncWanted(). Caller holds engine_mu_.
+  void SyncAsyncMode() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      const bool want = AsyncWanted();
+      const bool engaged = async_engaged_.load(std::memory_order_relaxed);
+      if (want && !engaged) {
+        double residual = 0.0;
+        {
+          std::lock_guard<std::mutex> journal_lock(journal_mu_);
+          engine_->EnterAsyncMode();
+          async_engaged_.store(true, std::memory_order_release);
+          residual = engine_->AsyncResidual();
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.async_entries;
+        stats_.async_residual = residual;
+      } else if (!want && engaged) {
+        ReconcileAsync();
+      }
+    }
+  }
+
+  // One reconciling barrier: async -> BSP (a from-scratch refinement on the
+  // final graph restores bitwise-deterministic state), then a forced
+  // checkpoint — cadence checkpoints were suppressed across the async
+  // window, so the store must re-cover the frontier now. No-op when the
+  // engine is already synchronous. Caller holds engine_mu_ but not
+  // stats_mu_.
+  void ReconcileAsync() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      if (!async_engaged_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        engine_->ExitAsyncReconcile();
+        async_engaged_.store(false, std::memory_order_release);
+        if (checkpointer_ != nullptr) {
+          if constexpr (CheckpointableEngine<Engine>) {
+            StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kCheckpoint);
+            checkpointer_->WriteCheckpoint(applied_seq_);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.async_reconciles;
+      stats_.async_residual = 0.0;
+    }
+  }
+
+  // The async counterpart of ApplyJournaled: notify the observer, journal
+  // write-ahead, then the barrier-free apply. No cadence checkpoint — the
+  // dependency store is stale while async, so a snapshot here would be
+  // unrecoverable; a lost WAL record instead forces an immediate
+  // reconcile, whose checkpoint supersedes it. Caller holds engine_mu_.
+  void AsyncApplyJournaled(const MutationBatch& batch, size_t observer_lane) {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      bool journaled = true;
+      {
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        if (observer_) {
+          observer_(observer_lane, batch);
+        }
+        ++applied_seq_;
+        if (checkpointer_ != nullptr) {
+          journaled = checkpointer_->AppendWal(applied_seq_, batch);
+        }
+        engine_->AsyncApplyMutations(batch);
+      }
+      if (checkpointer_ != nullptr && !journaled) {
+        GB_LOG(kWarning) << "async apply lost its WAL record; reconciling to a checkpoint";
+        ReconcileAsync();
+      }
+    }
+  }
+
+  // An idle-window async round on lane 0: refresh the governor (a quiet
+  // queue is what clears degraded mode), flip the engine to match, and —
+  // while engaged and unconverged — run one bounded propagation round.
+  // Running on every idle poll is what makes the mode self-clearing
+  // without waiting for a query barrier, and what drives the residual to
+  // zero once ingestion pauses.
+  void AsyncTick() {
+    if constexpr (AsyncDeltaEngine<Engine>) {
+      if (config_.async_mode == AsyncModePolicy::kOff ||
+          config_.overflow != OverflowPolicy::kDegrade) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> glock(governor_mu_);
+        governor_.Update(QueuedDepth());
+      }
+      bool stepped = false;
+      double residual = 0.0;
+      uint64_t priority_delta = 0;
+      {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        SyncAsyncMode();
+        if (async_engaged_.load(std::memory_order_relaxed) &&
+            engine_->AsyncResidual() > 0.0) {
+          const uint64_t before = TaskArena::Instance().counters().tasks_priority;
+          residual = engine_->AsyncStep(config_.async_step_budget);
+          priority_delta = TaskArena::Instance().counters().tasks_priority - before;
+          stepped = true;
+        }
+      }
+      if (stepped) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.async_steps;
+        stats_.async_residual = residual;
+        stats_.tasks_priority += priority_delta;
+      }
     }
   }
 
@@ -1229,6 +1458,12 @@ class ShardedDriver {
     EngineStats summed;
     {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      if constexpr (AsyncDeltaEngine<Engine>) {
+        // Shed batches replay through BSP ApplyMutations; reconcile inside
+        // this engine scope so a racing AsyncTick cannot re-enter async
+        // between the barrier and the drain.
+        ReconcileAsync();
+      }
       replayed = checkpointer_->DrainShed([&](MutationBatch&& batch) {
         ApplyJournaled(batch, lanes_.size());
         const EngineStats& applied = engine_->stats();
@@ -1239,6 +1474,7 @@ class ShardedDriver {
         summed.tasks_forked += applied.tasks_forked;
         summed.tasks_stolen += applied.tasks_stolen;
         summed.inline_runs += applied.inline_runs;
+        summed.tasks_priority += applied.tasks_priority;
       });
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -1251,6 +1487,7 @@ class ShardedDriver {
     stats_.tasks_forked += summed.tasks_forked;
     stats_.tasks_stolen += summed.tasks_stolen;
     stats_.inline_runs += summed.inline_runs;
+    stats_.tasks_priority += summed.tasks_priority;
     shed_batches_ = shed_batches_ >= replayed ? shed_batches_ - replayed : 0;
   }
 
@@ -1364,6 +1601,19 @@ class ShardedDriver {
   std::atomic<bool> stall_abort_{false};
 
   std::mutex shed_replay_mu_;  // serializes concurrent shed-log drains
+
+  // True while the engine runs the async delta-accumulative tier. Mirrors
+  // engine_->async_mode(): flips happen under engine_mu_ + journal_mu_
+  // together, so a holder of either lock reads it race-free; lock-free
+  // reads (acquire) are advisory (fast-path gate, stats labels).
+  std::atomic<bool> async_engaged_{false};
+  // Adaptive maintenance budget, fed from lane 0's idle polls and the
+  // global graph's per-edge rewrite cost (declared after config_: seeded
+  // from the already-moved-into config).
+  MaintenanceBudget budget_{config_.maintenance_budget_edges};
+  // Cumulative background_edges_copied at the last global tick; only
+  // lane 0 ticks, so this needs no lock.
+  uint64_t last_maintenance_edges_ = 0;
 
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;

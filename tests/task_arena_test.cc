@@ -3,8 +3,11 @@
 // the SetNumThreads resize contract the old ThreadPool got wrong.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -207,6 +210,87 @@ TEST(TaskArena, SetNumThreadsWhileLoopsRunOnOtherThreads) {
     runner.join();
   }
   EXPECT_GT(loops.load(), 0u);
+  ThreadPool::SetNumThreads(1);
+}
+
+// ----- Priority lane (async delta rounds; see INTERNALS §14) -----------------
+
+TEST(PriorityLane, RunPriorityExecutesAllAndCounts) {
+  ThreadPool::SetNumThreads(4);
+  const ArenaCounters before = TaskArena::Instance().counters();
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group;
+    for (int i = 0; i < 64; ++i) {
+      group.RunPriority(static_cast<double>(i % 7), [&ran] { ran.fetch_add(1); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(ran.load(), 64);
+  const ArenaCounters after = TaskArena::Instance().counters();
+  EXPECT_EQ(after.tasks_priority - before.tasks_priority, 64u);
+  ThreadPool::SetNumThreads(1);
+}
+
+TEST(PriorityLane, SerialArenaRunsInline) {
+  ThreadPool::SetNumThreads(1);
+  const ArenaCounters before = TaskArena::Instance().counters();
+  int ran = 0;  // non-atomic: inline execution means no concurrency
+  TaskGroup group;
+  group.RunPriority(3.0, [&ran] { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran, 1);
+  const ArenaCounters after = TaskArena::Instance().counters();
+  EXPECT_EQ(after.tasks_priority, before.tasks_priority);
+  EXPECT_GT(after.inline_runs, before.inline_runs);
+}
+
+// Deterministic drain-order check. Every persistent worker is first parked
+// inside a spinning blocker, so when the group waiter (the main thread)
+// starts popping, it is the *only* drainer: the lane's max-heap contract
+// says it must observe the priorities in strictly descending order. The
+// lowest-priority task — executed last — releases the blockers so Wait()
+// can join the group.
+TEST(PriorityLane, GroupWaiterDrainsHighestPriorityFirst) {
+  ThreadPool::SetNumThreads(4);
+  const size_t workers = TaskArena::Instance().num_threads() - 1;
+  ASSERT_GE(workers, 1u);
+  std::atomic<size_t> started{0};
+  std::atomic<bool> release{false};
+  std::vector<double> order;
+  std::mutex order_mu;
+  const std::vector<double> priorities = {1.0, 9.0, 3.0, 7.0, 5.0, 2.0, 8.0};
+  {
+    TaskGroup group;  // root region: attaches this thread to a slot
+    for (size_t w = 0; w < workers; ++w) {
+      group.Run([&] {
+        started.fetch_add(1);
+        while (!release.load()) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    // One blocker per persistent worker: when all have started, every
+    // worker is parked and this thread's deque is empty.
+    for (int i = 0; i < 100000 && started.load() < workers; ++i) {
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(started.load(), workers);
+    for (const double p : priorities) {
+      group.RunPriority(p, [&, p] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(p);
+        if (order.size() == priorities.size()) {
+          release.store(true);
+        }
+      });
+    }
+    group.Wait();
+  }
+  ASSERT_EQ(order.size(), priorities.size());
+  std::vector<double> want = priorities;
+  std::sort(want.begin(), want.end(), std::greater<double>());
+  EXPECT_EQ(order, want);
   ThreadPool::SetNumThreads(1);
 }
 

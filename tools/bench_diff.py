@@ -29,7 +29,7 @@ import json
 import os
 import sys
 
-LOWER_BETTER_MARKERS = ("_ms", "_seconds", "seconds", "_latency")
+LOWER_BETTER_MARKERS = ("_ms", "_seconds", "seconds", "_latency", "_mb", "overhead")
 HIGHER_BETTER_MARKERS = ("rate", "speedup", "throughput", "per_sec")
 
 
@@ -122,7 +122,12 @@ def self_test():
     assert metric_direction("end_to_end_rate") == "higher"
     assert metric_direction("speedup") == "higher"
     assert metric_direction("queue_wait_seconds") == "lower"
+    assert metric_direction("dense_mb") == "lower"
+    assert metric_direction("compact_overhead") == "lower"
+    assert metric_direction("fresh_serve_rate") == "higher"
     assert metric_direction("batches") is None
+    assert metric_direction("hi_over_lo") is None
+    assert metric_direction("async_reconciles") is None
     print("bench_diff self-test: OK")
     return 0
 

@@ -160,6 +160,18 @@ void PrintFastPath(const EngineStats& stats) {
               static_cast<unsigned long long>(stats.fastpath_epoch_flips));
 }
 
+void PrintAsync(const EngineStats& stats) {
+  std::printf("async: %llu entries / %llu reconciles, %llu async applies, %llu steps "
+              "(%llu priority tasks), %llu async-fresh queries, residual %.3e\n",
+              static_cast<unsigned long long>(stats.async_entries),
+              static_cast<unsigned long long>(stats.async_reconciles),
+              static_cast<unsigned long long>(stats.async_applies),
+              static_cast<unsigned long long>(stats.async_steps),
+              static_cast<unsigned long long>(stats.tasks_priority),
+              static_cast<unsigned long long>(stats.async_fresh_queries),
+              stats.async_residual);
+}
+
 void PrintDurability(const EngineStats& stats, const DriverConfig& driver) {
   std::printf("durability: %llu checkpoints (%.2f ms), %llu WAL appends, %llu shed, dir %s\n",
               static_cast<unsigned long long>(stats.checkpoints_written),
@@ -264,6 +276,9 @@ int StreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& graph,
           static_cast<unsigned long long>(stats.stalls_detected),
           static_cast<unsigned long long>(stats.watchdog_recoveries),
           stats.apply_ewma_seconds * 1e3);
+    }
+    if (config.driver.async_mode != AsyncModePolicy::kOff) {
+      PrintAsync(stats);
     }
   }
   std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",
@@ -372,6 +387,9 @@ int ShardedStreamDriven(Engine& engine, MakeEngine&& make_engine, MutableGraph& 
           static_cast<unsigned long long>(stats.stalls_detected),
           static_cast<unsigned long long>(stats.watchdog_recoveries),
           stats.apply_ewma_seconds * 1e3);
+    }
+    if (config.driver.async_mode != AsyncModePolicy::kOff) {
+      PrintAsync(stats);
     }
   }
   std::printf("total wall time: %.2f ms; final graph: %u vertices, %llu edges\n",

@@ -28,9 +28,9 @@ fi
 # fork-join scheduler are exactly the code whose correctness *is* its
 # memory ordering, so TSan here is load-bearing, not belt-and-braces.
 TARGETS=(driver_test shard_test shard_sentinel_test fastpath_test parallel_test
-         task_arena_test fault_recovery_test store_serialization_test
-         sentinel_test graph_test mutable_graph_test slack_csr_fuzz_test
-         graphbolt_cli example_streaming_service)
+         task_arena_test async_engine_test fault_recovery_test
+         store_serialization_test sentinel_test graph_test mutable_graph_test
+         slack_csr_fuzz_test graphbolt_cli example_streaming_service)
 
 for san in "${SANITIZERS[@]}"; do
   case "$san" in
