@@ -15,22 +15,37 @@ namespace graphbolt {
 namespace {
 
 template <typename Algo>
-void PrintStability(const char* label, MutableGraph* graph, Algo algo, uint32_t iterations) {
+void PrintStability(const char* label, const char* algo_key, MutableGraph* graph, Algo algo,
+                    uint32_t iterations, BenchJson& json) {
   GraphBoltEngine<Algo> engine(graph, algo, {.max_iterations = iterations});
   engine.InitialCompute();
   std::printf("\n%s (fraction of vertices changing per iteration):\n", label);
   std::printf("%-5s %10s %9s  %s\n", "iter", "changed", "fraction", "bar");
   const double n = static_cast<double>(graph->num_vertices());
+  double total_churn = 0.0;
   for (uint32_t level = 1; level <= engine.store().total_levels(); ++level) {
     const size_t changed = engine.store().ChangedAt(level).Count();
     const double fraction = static_cast<double>(changed) / n;
+    total_churn += fraction;
     std::printf("%-5u %10zu %8.1f%%  ", level, changed, fraction * 100.0);
     const int bar = static_cast<int>(fraction * 50.0 + 0.5);
     for (int i = 0; i < bar; ++i) {
       std::printf("#");
     }
     std::printf("\n");
+    json.Row()
+        .Str("algo", algo_key)
+        .Num("iter", static_cast<double>(level))
+        .Num("changed", static_cast<double>(changed))
+        .Num("changed_fraction", fraction);
   }
+  // The trajectory-guarded scalar: total change mass over the window. The
+  // counts are deterministic (fixed seeds, no timing), so a drift here means
+  // convergence behaviour itself changed — exactly what the figure pins.
+  json.Row()
+      .Str("algo", algo_key)
+      .Str("mode", "summary")
+      .Num("total_churn_overhead", total_churn);
 }
 
 void Run() {
@@ -42,20 +57,27 @@ void Run() {
   const Surrogate surrogate{"WK*", 40000, 500000, 121};
   StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
 
+  BenchJson json("figure4_stability");
+
   // The deployment knob is the change tolerance (§4.2 selective
   // scheduling): the looser it is, the earlier values count as stable and
   // the earlier the horizontal red-line cutoff of Figure 4 becomes safe.
   MutableGraph g_lp(split.initial);
-  PrintStability("Label Propagation, tolerance 1e-3, 20-iteration window", &g_lp,
-                 LabelPropagation<2>(surrogate.vertices, 0.1, 122, /*tolerance=*/1e-3), 20);
+  PrintStability("Label Propagation, tolerance 1e-3, 20-iteration window", "LP", &g_lp,
+                 LabelPropagation<2>(surrogate.vertices, 0.1, 122, /*tolerance=*/1e-3), 20, json);
 
   MutableGraph g_bp(split.initial);
-  PrintStability("Belief Propagation, tolerance 1e-4 (fast collapse)", &g_bp,
-                 BeliefPropagation<3>(13, 1e-4), 10);
+  PrintStability("Belief Propagation, tolerance 1e-4 (fast collapse)", "BP", &g_bp,
+                 BeliefPropagation<3>(13, 1e-4), 10, json);
 
   MutableGraph g_pr(split.initial);
-  PrintStability("PageRank, tolerance 1e-4 (slower to stabilize)", &g_pr, PageRank(0.85, 1e-4),
-                 15);
+  PrintStability("PageRank, tolerance 1e-4 (slower to stabilize)", "PR", &g_pr,
+                 PageRank(0.85, 1e-4), 15, json);
+
+  const std::string json_path = json.DefaultPath();
+  if (json.WriteFile(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   std::printf(
       "\nExpected shape (Figure 4): change density is high in the early\n"

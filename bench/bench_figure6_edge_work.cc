@@ -80,6 +80,8 @@ void Run() {
   }
   std::printf("\n");
 
+  BenchJson json("figure6_edge_work");
+
   for (const Surrogate& surrogate : graphs) {
     StreamSplit split = MakeStream(surrogate, /*weighted=*/true);
     std::vector<std::vector<MutationBatch>> batches;
@@ -90,8 +92,16 @@ void Run() {
 
     auto print_row = [&](const char* algo, const std::vector<double>& ratios) {
       std::printf("%-6s %-5s", algo, surrogate.name);
-      for (const double ratio : ratios) {
-        std::printf(" %10.4f", ratio);
+      for (size_t s = 0; s < ratios.size(); ++s) {
+        std::printf(" %10.4f", ratios[s]);
+        // Edge counts are deterministic (no timing), so the ratio is an
+        // exactly reproducible trajectory key; "overhead" marks it
+        // lower-is-better for bench_diff.py.
+        json.Row()
+            .Str("algo", algo)
+            .Str("graph", surrogate.name)
+            .Str("batch_label", kBatchLabels[s])
+            .Num("edge_work_overhead", ratios[s]);
       }
       std::printf("\n");
     };
@@ -103,6 +113,11 @@ void Run() {
               Ratios(split, LabelPropagation<2>(surrogate.vertices, 0.1, surrogate.seed + 35, kBenchTolerance),
                      batches));
     print_row("TC", TriangleRatios(split, batches));
+  }
+
+  const std::string json_path = json.DefaultPath();
+  if (json.WriteFile(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   std::printf(

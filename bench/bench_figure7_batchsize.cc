@@ -27,7 +27,8 @@ constexpr const char* kSweepLabels[] = {"1", "10", "100", "1K", "10K", "100K(~1M
 
 template <typename Algo>
 void Sweep(const char* name, const StreamSplit& split, const Algo& algo,
-           const std::vector<std::vector<MutationBatch>>& batches_per_size) {
+           const std::vector<std::vector<MutationBatch>>& batches_per_size,
+           BenchJson& json) {
   std::printf("\n%s on %s:\n%-12s %12s %12s %12s %9s\n", name, "TT*", "batch", "GB-Reset(ms)",
               "GraphBolt(ms)", "GB+fb(ms)", "speedup");
   for (size_t s = 0; s < batches_per_size.size(); ++s) {
@@ -53,11 +54,19 @@ void Sweep(const char* name, const StreamSplit& split, const Algo& algo,
     }
     std::printf("%-12s %12.2f %12.2f %12.2f %8.2fx\n", kSweepLabels[s], reset_time * 1e3,
                 bolt_time * 1e3, fallback_time * 1e3, reset_time / bolt_time);
+    json.Row()
+        .Str("algo", name)
+        .Str("batch_label", kSweepLabels[s])
+        .Num("reset_ms", reset_time * 1e3)
+        .Num("bolt_ms", bolt_time * 1e3)
+        .Num("fallback_ms", fallback_time * 1e3)
+        .Num("speedup_vs_reset", reset_time / bolt_time);
   }
 }
 
 void TriangleSweep(const StreamSplit& split,
-                   const std::vector<std::vector<MutationBatch>>& batches_per_size) {
+                   const std::vector<std::vector<MutationBatch>>& batches_per_size,
+                   BenchJson& json) {
   std::printf("\nTC on TT*:\n%-12s %12s %12s %9s\n", "batch", "GB-Reset(ms)", "GraphBolt(ms)",
               "speedup");
   for (size_t s = 0; s < batches_per_size.size(); ++s) {
@@ -75,6 +84,12 @@ void TriangleSweep(const StreamSplit& split,
     }
     std::printf("%-12s %12.2f %12.2f %8.2fx\n", kSweepLabels[s], reset_time * 1e3, bolt_time * 1e3,
                 reset_time / bolt_time);
+    json.Row()
+        .Str("algo", "TC")
+        .Str("batch_label", kSweepLabels[s])
+        .Num("reset_ms", reset_time * 1e3)
+        .Num("bolt_ms", bolt_time * 1e3)
+        .Num("speedup_vs_reset", reset_time / bolt_time);
   }
 }
 
@@ -90,12 +105,19 @@ void Run() {
     batches.push_back(MakeBatches(split, 1, {.size = size, .add_fraction = 0.6}, 152));
   }
 
-  Sweep("PR", split, PageRank(0.85, kBenchTolerance), batches);
-  Sweep("BP", split, BeliefPropagation<3>(13, kBenchTolerance), batches);
-  Sweep("CoEM", split, CoEM(surrogate.vertices, 0.08, 153, kBenchTolerance), batches);
-  Sweep("CF", split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), batches);
-  Sweep("LP", split, LabelPropagation<2>(surrogate.vertices, 0.1, 154, kBenchTolerance), batches);
-  TriangleSweep(split, batches);
+  BenchJson json("figure7_batchsize");
+  Sweep("PR", split, PageRank(0.85, kBenchTolerance), batches, json);
+  Sweep("BP", split, BeliefPropagation<3>(13, kBenchTolerance), batches, json);
+  Sweep("CoEM", split, CoEM(surrogate.vertices, 0.08, 153, kBenchTolerance), batches, json);
+  Sweep("CF", split, CollaborativeFiltering<4>(0.05, 17, kBenchTolerance, 0.3), batches, json);
+  Sweep("LP", split, LabelPropagation<2>(surrogate.vertices, 0.1, 154, kBenchTolerance), batches,
+        json);
+  TriangleSweep(split, batches, json);
+
+  const std::string json_path = json.DefaultPath();
+  if (json.WriteFile(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   std::printf(
       "\nExpected shape (Figure 7): GraphBolt time rises with batch size and\n"

@@ -194,6 +194,12 @@ class StreamDriver {
     // Test-only deterministic fault injection (no-op unless compiled with
     // GRAPHBOLT_FAULT_INJECTION=1). Not owned.
     FaultInjector* fault_injector = nullptr;
+    // Background scrub cadence: every this-many seconds of worker idle
+    // time, verify every durability artifact (checkpoint chain, journal,
+    // shed log) with the same predicates recovery uses, quarantining
+    // corrupt checkpoints and healing torn WAL tails. 0 disables; needs a
+    // checkpointer. Runs off the idle poll so it never delays a batch.
+    double scrub_interval_seconds = 0.0;
     // Background SlackCsr compaction: the worker runs graph maintenance
     // steps in the windows between batches (under the engine mutex), so
     // ApplyBatch never pays a synchronous compaction pass — see
@@ -275,7 +281,9 @@ class StreamDriver {
     if (!options_.quarantine_dir.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(options_.quarantine_dir, ec);
-      quarantine_ = std::make_unique<Quarantine>(options_.quarantine_dir, injector_);
+      quarantine_ = std::make_unique<Quarantine>(
+          options_.quarantine_dir, injector_,
+          checkpointer_ != nullptr ? checkpointer_->env() : nullptr);
     }
     queue_.ArmFaultInjector(injector_);
     worker_ = std::thread([this] { WorkerLoop(); });
@@ -752,6 +760,28 @@ class StreamDriver {
     }
   }
 
+  // Sequence number of the newest batch applied through the journal — the
+  // durable frontier. After Recover() it is exactly the number of batches
+  // the recovered state contains, which is what the crash harness diffs
+  // against a fresh prefix run.
+  uint64_t applied_seq() {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    return applied_seq_;
+  }
+
+  // One synchronous scrub pass over the durability artifacts (see
+  // Options::scrub_interval_seconds). Returns corrupt artifacts found; 0
+  // is a healthy disk or no checkpointer. Safe against a live pipeline:
+  // only the journal serialization is held, so queries and staged applies
+  // wait at most one artifact verification.
+  uint64_t ScrubNow() {
+    if (checkpointer_ == nullptr) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    return checkpointer_->Scrub().corruptions;
+  }
+
   // Drains and shuts down: stops accepting, flushes the gutter remainder,
   // waits for the worker to apply everything queued, joins it, and replays
   // any shed batches. Idempotent; called by the destructor. After a worker
@@ -934,6 +964,7 @@ class StreamDriver {
         budget_.RecordIdle(poll.Seconds());
         MaintenanceTick();  // idle poll: let a pending rewrite advance
         AsyncTick();        // refresh overload state; propagate or reconcile
+        MaybeScrub();       // cadence-gated artifact verification
       }
       // The stale check runs after *every* iteration — successful pops
       // included, so a busy queue cannot starve a stale gutter — against
@@ -1098,6 +1129,19 @@ class StreamDriver {
   // batches. Holding the engine mutex makes this the epoch barrier: no
   // apply or query can observe a half-built shadow, and a completed
   // rewrite flips in under the same lock every reader takes.
+  // Worker-only (single ticking thread, so the cadence timer needs no
+  // lock): run a scrub pass once the configured interval of wall time has
+  // passed since the last one. Rides the idle poll — a saturated pipeline
+  // defers scrubbing, which is the right priority order.
+  void MaybeScrub() {
+    if (checkpointer_ == nullptr || options_.scrub_interval_seconds <= 0.0 ||
+        scrub_timer_.Seconds() < options_.scrub_interval_seconds) {
+      return;
+    }
+    scrub_timer_.Reset();
+    ScrubNow();
+  }
+
   void MaintenanceTick() {
     if constexpr (GraphMaintainableEngine<Engine>) {
       if (!options_.background_compaction) {
@@ -1425,6 +1469,8 @@ class StreamDriver {
   std::thread worker_;
   Checkpointer<Engine>* checkpointer_;
   FaultInjector* injector_;
+  // Worker-thread-only scrub cadence (see MaybeScrub).
+  Timer scrub_timer_;
 
   // Sentinel: the dead-letter quarantine (null unless configured), the
   // stall watchdog, and the cooperative cancellation token a stalled

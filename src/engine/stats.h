@@ -84,6 +84,20 @@ struct EngineStats {
   // Successful Recover() calls, and the WAL/shed batches they re-applied.
   uint64_t recoveries = 0;
   uint64_t batches_replayed = 0;
+  // Durable writes abandoned fatal-fast because the disk reported ENOSPC
+  // (retrying a full disk only burns the backoff budget).
+  uint64_t enospc_aborts = 0;
+  // WAL scans (replay or scrub) that hit a torn/corrupt record and
+  // truncated the lineage back to its last checksummed boundary.
+  uint64_t wal_corruptions_detected = 0;
+  // Background scrub passes over the durability artifacts, and the
+  // corrupt artifacts they found (quarantined checkpoints, healed WALs).
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_corruptions = 0;
+  // Batches recovered through the sharded driver's lane-parallel lineage
+  // replay (vs. batches_replayed, which also counts the serial global-WAL
+  // path).
+  uint64_t lane_batches_replayed = 0;
 
   // ----- Background-compaction counters (populated by StreamDriver when the
   // engine exposes its MutableGraph; mirrors SlackCsr::CompactionStats

@@ -38,6 +38,8 @@
 #include "src/engine/edge_map.h"
 #include "src/fault/checkpoint.h"
 #include "src/fault/fault_injector.h"
+#include "src/fault/fsck.h"
+#include "src/fault/storage_env.h"
 #include "src/fault/wal.h"
 #include "src/engine/ligra_engine.h"
 #include "src/engine/reset_engine.h"

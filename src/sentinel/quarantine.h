@@ -39,10 +39,13 @@ class Quarantine {
   // `directory` holds the dead-letter log (quarantine.wal), created on
   // first append. The injector (not owned, may be null) arms
   // FaultSite::kQuarantineAppend so tests can exercise the append-failure
-  // path deterministically.
-  explicit Quarantine(const std::string& directory, FaultInjector* injector = nullptr)
+  // path deterministically. A null env means the real filesystem; a
+  // FaultyEnv here puts the dead-letter lineage under the same injectable
+  // storage as every other durability artifact.
+  explicit Quarantine(const std::string& directory, FaultInjector* injector = nullptr,
+                      StorageEnv* env = nullptr)
       : injector_(injector) {
-    log_.Open(directory + "/quarantine.wal");
+    log_.Open(directory + "/quarantine.wal", env);
   }
 
   Quarantine(const Quarantine&) = delete;

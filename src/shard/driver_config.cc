@@ -181,6 +181,9 @@ void DriverConfig::RegisterFlags(ArgParser& args) {
   args.AddString("checkpoint-dir", "", "enable WAL + checkpoints in this directory");
   args.AddInt("checkpoint-every", static_cast<int64_t>(defaults.checkpoint_every),
               "checkpoint cadence in batches (0 = WAL only)");
+  args.AddDouble("scrub-interval-s", defaults.scrub_interval_seconds,
+                 "verify durability artifacts every this many idle seconds, "
+                 "quarantining corrupt checkpoints and healing torn WALs (0 = off)");
   args.AddString("quarantine-dir", "",
                  "arm admission control; rejects park in this dead-letter WAL directory");
   args.AddInt("max-batch-edges", 0,
@@ -244,6 +247,12 @@ bool DriverConfig::FromCli(const ArgParser& args, std::string* error) {
     return false;
   }
   checkpoint_every = static_cast<uint64_t>(cadence);
+  const double scrub_s = args.GetDouble("scrub-interval-s");
+  if (scrub_s < 0.0) {
+    *error = "--scrub-interval-s must be >= 0 (got " + std::to_string(scrub_s) + ")";
+    return false;
+  }
+  scrub_interval_seconds = scrub_s;
   quarantine_dir = args.GetString("quarantine-dir");
   const int64_t max_edges = args.GetInt("max-batch-edges");
   if (max_edges < 0) {
@@ -403,6 +412,17 @@ bool DriverConfig::FromEnv(std::string* error) {
       })) {
     return false;
   }
+  if (!EnvOverride("GRAPHBOLT_SCRUB_INTERVAL_S", error, [&](const std::string& v) {
+        double parsed = 0.0;
+        *error = "expected a non-negative interval in seconds";
+        if (!ParseNonNegativeDouble(v, &parsed)) {
+          return false;
+        }
+        scrub_interval_seconds = parsed;
+        return true;
+      })) {
+    return false;
+  }
   if (!EnvOverride("GRAPHBOLT_QUARANTINE_DIR", error, [&](const std::string& v) {
         quarantine_dir = v;
         return true;
@@ -496,6 +516,13 @@ std::string DriverConfig::Validate() const {
   if (overflow == OverflowPolicy::kShedToWal && checkpoint_dir.empty()) {
     return "overflow policy \"shed\" parks batches in the durable shed log; "
            "set checkpoint_dir (--checkpoint-dir) or pick block | drop";
+  }
+  if (scrub_interval_seconds < 0.0) {
+    return "scrub_interval_seconds must be >= 0 (0 disables scrubbing)";
+  }
+  if (scrub_interval_seconds > 0.0 && checkpoint_dir.empty()) {
+    return "scrubbing verifies durability artifacts; set checkpoint_dir "
+           "(--checkpoint-dir) or leave scrub_interval_seconds at 0";
   }
   if (watchdog_stall_seconds < 0.0) {
     return "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)";

@@ -87,6 +87,11 @@ struct DriverConfig {
   // the Checkpointer; this carries the knobs to one place).
   std::string checkpoint_dir;
   uint64_t checkpoint_every = 8;
+  // Background scrub cadence in seconds of worker idle time: verify every
+  // durability artifact (checkpoint chain, journal, shed log, lane
+  // lineages) with the predicates recovery uses, quarantining corrupt
+  // checkpoints and healing torn WAL tails. 0 disables.
+  double scrub_interval_seconds = 0.0;
 
   // ----- Sentinel ---------------------------------------------------------
   std::string quarantine_dir;
@@ -168,6 +173,7 @@ struct DriverConfig {
     options.fault_injector = fault_injector;
     options.background_compaction = background_compaction;
     options.maintenance_budget_edges = maintenance_budget_edges;
+    options.scrub_interval_seconds = scrub_interval_seconds;
     options.fast_path = fast_path;
     options.quarantine_dir = quarantine_dir;
     options.admission = admission;

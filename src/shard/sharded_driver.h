@@ -77,6 +77,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -204,12 +205,15 @@ class ShardedDriver {
     if (!config_.quarantine_dir.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(config_.quarantine_dir, ec);
-      quarantine_ = std::make_unique<Quarantine>(config_.quarantine_dir, injector_);
+      quarantine_ = std::make_unique<Quarantine>(
+          config_.quarantine_dir, injector_,
+          checkpointer_ != nullptr ? checkpointer_->env() : nullptr);
     }
     const bool wal_enabled = !config_.checkpoint_dir.empty();
+    StorageEnv* lane_env =
+        checkpointer_ != nullptr ? checkpointer_->env() : StorageEnv::Default();
     if (wal_enabled) {
-      std::error_code ec;
-      std::filesystem::create_directories(config_.checkpoint_dir, ec);
+      lane_env->CreateDirectories(config_.checkpoint_dir);
     }
     lanes_.reserve(config_.shards);
     for (size_t i = 0; i < config_.shards; ++i) {
@@ -217,8 +221,11 @@ class ShardedDriver {
       Lane& lane = *lanes_.back();
       lane.queue.ArmFaultInjector(injector_);
       if (wal_enabled) {
-        lane.wal.Open(config_.checkpoint_dir + "/shard-" + std::to_string(i) + ".wal");
-        lane.wal.Reset();  // this run's lineage, not a recovery source
+        // The lane lineage survives restarts: it is a recovery source
+        // (Recover replays the lineages in parallel), so it is NOT reset
+        // here. Compaction drops records a retained checkpoint covers.
+        lane.wal.Open(config_.checkpoint_dir + "/shard-" + std::to_string(i) + ".wal",
+                      lane_env);
         lane.wal_enabled = true;
       }
       if (config_.background_compaction) {
@@ -549,6 +556,7 @@ class ShardedDriver {
       }
       bool restored = false;
       bool applied_preserved = false;
+      uint64_t replayed_lanes = 0;
       uint64_t replayed_wal = 0;
       uint64_t replayed_shed = 0;
       uint64_t recovered_seq = 0;
@@ -569,8 +577,17 @@ class ShardedDriver {
           restored = checkpointer_->RestoreLatest(&ckpt_seq);
           if (restored) {
             applied_seq_ = ckpt_seq;
+            // Native sharded recovery: scan every lane's WAL lineage in
+            // parallel (one thread per lane — the scans are independent
+            // files), then apply the merged tail serially in global
+            // sequence order, so the promotion order is bit-identical to
+            // the pre-crash run. The global journal sweep below starts
+            // from wherever the lineages end: when they are complete it
+            // is a no-op, and when a lineage is gapped (lost lane file)
+            // it covers the remainder.
+            replayed_lanes = ReplayLaneLineages(ckpt_seq);
             replayed_wal = checkpointer_->ReplayWal(
-                ckpt_seq, [&](uint64_t seq, MutationBatch&& batch) {
+                applied_seq_, [&](uint64_t seq, MutationBatch&& batch) {
                   engine_->ApplyMutations(batch);
                   applied_seq_ = seq;
                 });
@@ -598,7 +615,11 @@ class ShardedDriver {
         // longer holds.
         std::lock_guard<std::mutex> journal_lock(journal_mu_);
         if (restored) {
-          checkpointer_->WriteCheckpoint(applied_seq_);
+          if (checkpointer_->WriteCheckpoint(applied_seq_)) {
+            // The fresh checkpoint supersedes every lineage record at or
+            // below it; drop them so the lane WALs stay bounded.
+            CompactLaneWals();
+          }
         }
         recovered_seq = applied_seq_;
       }
@@ -632,7 +653,8 @@ class ShardedDriver {
         }
         if (restored) {
           ++stats_.recoveries;
-          stats_.batches_replayed += replayed_wal + replayed_shed;
+          stats_.batches_replayed += replayed_lanes + replayed_wal + replayed_shed;
+          stats_.lane_batches_replayed += replayed_lanes;
           stats_.shed_batches_replayed += replayed_shed;
         }
       }
@@ -655,12 +677,54 @@ class ShardedDriver {
                         [this](const StallCause& cause) { OnStall(cause); });
       }
       if (restored) {
-        GB_LOG(kInfo) << "sharded recovery to batch " << recovered_seq << " (" << replayed_wal
-                      << " WAL, " << preserved.size() << " queued, " << replayed_shed
-                      << " shed batches replayed) in " << wall.Millis() << " ms";
+        GB_LOG(kInfo) << "sharded recovery to batch " << recovered_seq << " ("
+                      << replayed_lanes << " lane-lineage, " << replayed_wal
+                      << " global-WAL, " << preserved.size() << " queued, "
+                      << replayed_shed << " shed batches replayed) in "
+                      << wall.Millis() << " ms";
       }
       return restored;
     }
+  }
+
+  // Sequence number of the newest batch promoted through the global
+  // journal — the durable frontier (see StreamDriver::applied_seq).
+  uint64_t applied_seq() {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    return applied_seq_;
+  }
+
+  // One synchronous scrub pass: the checkpointer's artifacts (checkpoint
+  // chain, global journal, shed log) plus every lane lineage. Returns
+  // corrupt artifacts found; 0 is a healthy disk or no checkpointer.
+  uint64_t ScrubNow() {
+    if (checkpointer_ == nullptr) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    const uint64_t checkpointer_corruptions = checkpointer_->Scrub().corruptions;
+    // Lane lineages append under journal_mu_ (AppendLaneWal), so the same
+    // lock that serializes the global journal serializes this scan.
+    uint64_t lane_corruptions = 0;
+    for (auto& lane : lanes_) {
+      if (!lane->wal_enabled) {
+        continue;
+      }
+      WalScanInfo info = lane->wal.Verify();
+      if (!info.clean()) {
+        ++lane_corruptions;
+        GB_LOG(kWarning) << "scrub: lane lineage " << lane->wal.path()
+                         << " torn/corrupt; healing to last checksummed record";
+        lane->wal.Heal();
+      }
+    }
+    if (lane_corruptions > 0) {
+      // The checkpointer counts its own finds (surfaced via MergeStats);
+      // only the lane lineages are accounted here.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.scrub_corruptions += lane_corruptions;
+    }
+    return checkpointer_corruptions + lane_corruptions;
   }
 
   // Drains and shuts down: lanes stop accepting, gutter remainders flush,
@@ -755,7 +819,6 @@ class ShardedDriver {
     std::atomic<bool> stall_abort{false};
     bool wal_enabled = false;
     WriteAheadLog wal;
-    uint64_t wal_seq = 0;
     MutableGraph partition;
   };
 
@@ -871,6 +934,7 @@ class ShardedDriver {
           if (checkpointer_ != nullptr) {
             journaled = checkpointer_->AppendWal(applied_seq_, batch);
           }
+          AppendLaneWal(applied_seq_, batch, ShardOf(mutation.src));
           epoch_.BeginApply();
           const bool applied = engine_->ApplyFastSafe(mutation);
           epoch_.EndApply();
@@ -1068,7 +1132,8 @@ class ShardedDriver {
         // ticks against; feed the observation before spending it.
         budget_.RecordIdle(poll.Seconds());
         GlobalMaintenanceTick();
-        AsyncTick();  // refresh overload state; propagate or reconcile
+        AsyncTick();   // refresh overload state; propagate or reconcile
+        MaybeScrub();  // cadence-gated artifact verification
       }
       // The stale check runs after *every* iteration — successful pops
       // included, so a busy lane queue cannot starve a stale gutter —
@@ -1163,7 +1228,6 @@ class ShardedDriver {
       return global_abort;
     }
     Timer wall;
-    bool journaled = false;
     EngineStats applied;
     uint64_t rebuilds = 0;
     bool async_applied = false;
@@ -1172,9 +1236,11 @@ class ShardedDriver {
     uint64_t priority_delta = 0;
     {
       StallWatchdog::StageScope stage(&watchdog_, PipelineStage::kApply, lane.index);
-      if (lane.wal_enabled) {
-        journaled = lane.wal.Append(++lane.wal_seq, item.batch);
-      }
+      // The lane lineage is journaled at promotion time (AppendLaneWal,
+      // under journal_mu_) so its records carry the same global sequence
+      // numbers as the checkpointer's journal — that alignment is what
+      // lets Recover replay the lineages in parallel and still land on
+      // the exact pre-crash promotion order.
       lane.partition.ApplyBatch(item.batch);
       if (config_.background_compaction) {
         // One bounded increment per staged batch keeps the partition's
@@ -1213,7 +1279,6 @@ class ShardedDriver {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.batches_applied;
       ++stats_.shard_batches_staged;
-      stats_.shard_wal_appends += journaled ? 1 : 0;
       // The graph's rebuild counter is cumulative; mirror, don't sum.
       stats_.adaptive_rebuilds = rebuilds;
       stats_.seconds += applied.seconds;
@@ -1262,12 +1327,122 @@ class ShardedDriver {
     if (checkpointer_ != nullptr) {
       journaled = checkpointer_->AppendWal(applied_seq_, batch);
     }
+    AppendLaneWal(applied_seq_, batch, observer_lane);
     engine_->ApplyMutations(batch);
     if (checkpointer_ != nullptr) {
       if constexpr (CheckpointableEngine<Engine>) {
         checkpointer_->MaybeCheckpoint(applied_seq_, /*force=*/!journaled);
+        CompactLaneWals();
       }
     }
+  }
+
+  // Appends one promoted batch to its owning lane's WAL lineage, keyed by
+  // the GLOBAL sequence number just assigned under journal_mu_ (held by
+  // every caller). Batches promoted outside any lane — shed replays and
+  // fast-path pseudo-lanes — hash by sequence so the lineages stay a
+  // partition of the global journal.
+  void AppendLaneWal(uint64_t seq, const MutationBatch& batch, size_t observer_lane) {
+    if (lanes_.empty() || !lanes_[0]->wal_enabled) {
+      return;
+    }
+    const size_t target =
+        observer_lane < lanes_.size() ? observer_lane : static_cast<size_t>(seq % lanes_.size());
+    if (lanes_[target]->wal.Append(seq, batch)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shard_wal_appends;
+    }
+  }
+
+  // Drops every lane-lineage record already covered by the oldest retained
+  // checkpoint (no restore can start below it). Caller holds journal_mu_.
+  // Cheap when nothing changed: one directory listing per call, rewrites
+  // only on cutoff movement.
+  void CompactLaneWals() {
+    if (checkpointer_ == nullptr || lanes_.empty() || !lanes_[0]->wal_enabled) {
+      return;
+    }
+    const uint64_t cutoff = checkpointer_->OldestRetainedCheckpointSeq();
+    if (cutoff == 0 || cutoff == lane_wal_cutoff_) {
+      return;
+    }
+    lane_wal_cutoff_ = cutoff;
+    for (auto& lane : lanes_) {
+      lane->wal.DropThrough(cutoff);
+    }
+  }
+
+  // Lane-parallel native recovery: scan every lane lineage concurrently
+  // for records past `after_seq`, merge by global sequence number, apply
+  // serially in that order. Stops at the first gap or duplicate (a lost or
+  // compacted lineage segment) and leaves the rest to the caller's global
+  // journal sweep, which starts from wherever this landed. Caller holds
+  // engine_mu_ and journal_mu_; lanes are joined. Returns batches applied.
+  uint64_t ReplayLaneLineages(uint64_t after_seq) {
+    if (lanes_.empty() || !lanes_[0]->wal_enabled) {
+      return 0;
+    }
+    std::vector<std::vector<std::pair<uint64_t, MutationBatch>>> tails(lanes_.size());
+    {
+      std::vector<std::thread> scanners;
+      scanners.reserve(lanes_.size());
+      for (size_t i = 0; i < lanes_.size(); ++i) {
+        scanners.emplace_back([this, i, after_seq, &tails] {
+          WalScanInfo info;
+          lanes_[i]->wal.Replay(
+              after_seq,
+              [&](uint64_t seq, MutationBatch&& batch) {
+                tails[i].emplace_back(seq, std::move(batch));
+              },
+              static_cast<size_t>(-1), &info);
+          if (!info.clean()) {
+            // A kill mid-append tore this lineage's tail. Truncate it back
+            // to the last checksummed record NOW, so post-recovery appends
+            // extend a verifiable lineage instead of landing after garbage.
+            lanes_[i]->wal.Heal();
+          }
+        });
+      }
+      for (std::thread& t : scanners) {
+        t.join();
+      }
+    }
+    std::vector<std::pair<uint64_t, MutationBatch>> merged;
+    for (auto& tail : tails) {
+      merged.insert(merged.end(), std::make_move_iterator(tail.begin()),
+                    std::make_move_iterator(tail.end()));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    uint64_t replayed = 0;
+    uint64_t expect = after_seq + 1;
+    for (auto& [seq, batch] : merged) {
+      if (seq != expect) {
+        GB_LOG(kWarning) << "lane lineage gap at seq " << expect << " (next record " << seq
+                         << "); handing off to the global journal sweep";
+        break;
+      }
+      // Lineage records are re-promotions of already-observed batches:
+      // apply without re-journaling, observer silent (same contract as
+      // the global WAL tail).
+      engine_->ApplyMutations(batch);
+      applied_seq_ = seq;
+      ++expect;
+      ++replayed;
+    }
+    return replayed;
+  }
+
+  // Lane-0-only (single ticking thread, so the cadence timer needs no
+  // lock): run a scrub pass once the configured interval of wall time has
+  // passed since the last one (see StreamDriver::MaybeScrub).
+  void MaybeScrub() {
+    if (checkpointer_ == nullptr || config_.scrub_interval_seconds <= 0.0 ||
+        scrub_timer_.Seconds() < config_.scrub_interval_seconds) {
+      return;
+    }
+    scrub_timer_.Reset();
+    ScrubNow();
   }
 
   // One background-compaction increment on the global graph, in a lane's
@@ -1394,6 +1569,7 @@ class ShardedDriver {
         if (checkpointer_ != nullptr) {
           journaled = checkpointer_->AppendWal(applied_seq_, batch);
         }
+        AppendLaneWal(applied_seq_, batch, observer_lane);
         engine_->AsyncApplyMutations(batch);
       }
       if (checkpointer_ != nullptr && !journaled) {
@@ -1573,6 +1749,11 @@ class ShardedDriver {
   // of the engine lock. Lane mutexes may be taken under it (leafward).
   std::mutex journal_mu_;
   uint64_t applied_seq_ = 0;
+  // Oldest retained checkpoint seq the lane lineages were last compacted
+  // through (guarded by journal_mu_; see CompactLaneWals).
+  uint64_t lane_wal_cutoff_ = 0;
+  // Lane-0-only scrub cadence (see MaybeScrub).
+  Timer scrub_timer_;
   ApplyObserver observer_;
 
   // Fast-path state (config.fast_path; see src/driver/fast_path.h).

@@ -259,16 +259,15 @@ TEST(CheckpointFormat, TornNewestFallsBackToOlder) {
   EXPECT_EQ(seq, 3u);  // fell back past the torn seq-6 file
 }
 
-// The graph section of a checkpoint is an edge-list snapshot, not the
-// adjacency structure itself — so swapping the in-memory representation
-// from rebuild-Csr to SlackCsr must NOT change the on-disk format. This
-// test assembles a version-1 file byte-by-byte from the documented layout
-// (the bytes a pre-SlackCsr writer produced) and proves the current reader
-// restores it into the slack representation identically. If the graph
-// section ever changes shape, kCheckpointVersion must bump and this test
-// must grow a load path for both versions.
+// The dual-format load test the version bump mandates: a version-1 file
+// carries no section checksums, and every pre-v2 artifact on disk is one.
+// This test assembles a version-1 file byte-by-byte from the documented
+// layout (the bytes a v1 writer — including the pre-SlackCsr one —
+// produced) and proves the v2 reader restores it identically. If the
+// graph section ever changes shape, kCheckpointVersion must bump again
+// and this test must grow a load path for the new version too.
 TEST(CheckpointFormat, PreSlackCsrV1BytesStillLoad) {
-  ASSERT_EQ(kCheckpointVersion, 1u) << "version bumped: add a dual-format load test";
+  ASSERT_EQ(kCheckpointVersion, 2u) << "version bumped: extend the dual-format load test";
   ScopedTempDir tmp;
   MutableGraph graph(GenerateRmat(60, 300, {.seed = 5}));
   CkptEngine engine(&graph, PageRank{});
@@ -286,7 +285,7 @@ TEST(CheckpointFormat, PreSlackCsrV1BytesStillLoad) {
     file.write(reinterpret_cast<const char*>(&v), sizeof(v));
   };
   put(kCheckpointMagic);
-  put(kCheckpointVersion);
+  put(kCheckpointVersionV1);
   put(uint64_t{13});
   put(static_cast<uint64_t>(snapshot.num_vertices()));
   put(static_cast<uint64_t>(snapshot.num_edges()));
